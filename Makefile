@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate EXPERIMENTS.md (sequential so B4 throughput is clean).
+experiments:
+	$(GO) run ./cmd/experiments -format md -out EXPERIMENTS.md -parallel 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/datacenter
+	$(GO) run ./examples/packetrouting
+	$(GO) run ./examples/heterogeneous
+	$(GO) run ./examples/certificates
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,96 @@
+// Command experiments regenerates the reproduction suite: every
+// figure/theorem/lemma/baseline experiment indexed in DESIGN.md §4.
+//
+// Usage:
+//
+//	experiments [-run T1,L2] [-seed 1] [-scale 1] [-format md|text]
+//	            [-out EXPERIMENTS.md] [-csv results/] [-parallel N]
+//
+// With no -run it executes everything in ID order. -out writes a
+// Markdown report (paper-vs-measured); -csv additionally dumps every
+// table as CSV into the given directory. Experiments are
+// deterministic for a given seed, so -parallel only affects wall
+// time (use -parallel 1 when the B4 throughput numbers matter).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"treesched/internal/experiments"
+	"treesched/internal/report"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1, "job-count scale factor")
+	format := flag.String("format", "text", "output format: text or md")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
+	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS); results are deterministic either way")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-55s [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []*experiments.Experiment
+	if *runList == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	start := time.Now()
+	results := experiments.RunAll(selected, cfg, *parallel)
+	elapsed := time.Since(start)
+
+	var err error
+	if *format == "md" {
+		err = report.WriteMarkdown(w, results, report.Meta{
+			Seed: *seed, Scale: *scale, Date: time.Now().Format("2006-01-02"),
+		})
+	} else {
+		err = report.WriteText(w, results)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *csvDir != "" {
+		if err := report.WriteCSVDir(*csvDir, results); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "suite (%d experiments) completed in %v\n", len(results), elapsed.Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

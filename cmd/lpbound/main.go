@@ -1,0 +1,89 @@
+// Command lpbound computes lower bounds on the optimal total flow
+// time of an instance: the combinatorial bounds for any size, and the
+// exact optimum of the paper's time-indexed LP (via the built-in
+// simplex) for small instances.
+//
+// Usage:
+//
+//	lpbound -topo star:2 -trace jobs.json [-lp] [-horizon 0]
+//	lpbound -topo star:2 -n 5 -load 0.8 -seed 1 [-lp]
+//
+// Either replay a JSON trace (written by treesched -trace or
+// tracegen) or generate a small Poisson instance in place.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"treesched/internal/cli"
+	"treesched/internal/lowerbound"
+	"treesched/internal/lp"
+	"treesched/internal/rng"
+	"treesched/internal/workload"
+)
+
+func main() {
+	topoSpec := flag.String("topo", "star:2", "topology spec (see cmd/treesched)")
+	tracePath := flag.String("trace", "", "JSON trace to load")
+	n := flag.Int("n", 5, "jobs to generate when no trace is given")
+	load := flag.Float64("load", 0.8, "offered load for generated traces")
+	seed := flag.Uint64("seed", 1, "seed for generated traces")
+	useLP := flag.Bool("lp", false, "also solve the time-indexed LP (small instances only)")
+	horizon := flag.Int("horizon", 0, "LP horizon in unit slots (0 = auto)")
+	flag.Parse()
+
+	t, err := cli.ParseTopo(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var tr *workload.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tr, err = workload.Poisson(rng.New(*seed), workload.GenConfig{
+			N:        *n,
+			Size:     workload.UniformSize{Lo: 1, Hi: 4},
+			Load:     *load,
+			Capacity: float64(len(t.RootAdjacent())),
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("instance: %d jobs on %q (%d nodes)\n", len(tr.Jobs), *topoSpec, t.NumNodes())
+	fmt.Printf("path-work bound          %.6g\n", lowerbound.PathWork(t, tr))
+	fmt.Printf("aggregated-root SRPT     %.6g\n", lowerbound.AggregatedRootSRPT(t, tr))
+	fmt.Printf("combined bound           %.6g\n", lowerbound.Combined(t, tr))
+	fmt.Printf("best combinatorial bound %.6g\n", lowerbound.Best(t, tr))
+	if *useLP {
+		in, err := lp.Build(t, tr, *horizon)
+		if err != nil {
+			fatal(err)
+		}
+		vars := in.Problem.NumVars
+		cons := len(in.Problem.Constraints)
+		fmt.Printf("LP: %d variables, %d constraints, horizon %d\n", vars, cons, in.Horizon)
+		sol, err := in.Solve()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("LP optimum               %.6g (%d pivots)\n", sol.Objective, sol.Iterations)
+		fmt.Printf("LP/3 OPT lower bound     %.6g\n", lp.OPTLowerBound(sol.Objective))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpbound:", err)
+	os.Exit(1)
+}

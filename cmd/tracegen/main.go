@@ -1,0 +1,92 @@
+// Command tracegen generates workload traces as JSON for record and
+// replay across tools and experiments.
+//
+// Usage:
+//
+//	tracegen -n 1000 -process poisson -size uniform:1,16 -load 0.9 \
+//	         -capacity 2 [-burst 10] [-unrelated 8:0.5,2] [-eps 0.5] \
+//	         [-seed 1] -o trace.json
+//
+// Size specs: uniform:lo,hi | bimodal:small,big,pbig | pareto:min,alpha,cap.
+// -eps > 0 rounds all sizes to powers of (1+eps).
+// -unrelated LEAVES:lo,hi attaches per-leaf processing times.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"treesched/internal/cli"
+	"treesched/internal/rng"
+	"treesched/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "number of jobs")
+	process := flag.String("process", "poisson", "arrival process: poisson | bursty | adversarial")
+	sizeSpec := flag.String("size", "uniform:1,16", "size distribution spec")
+	load := flag.Float64("load", 0.9, "offered load")
+	capacity := flag.Float64("capacity", 1, "capacity the load is calibrated against")
+	burst := flag.Int("burst", 10, "burst length for -process bursty")
+	eps := flag.Float64("eps", 0, "round sizes to powers of (1+eps) when > 0")
+	unrelated := flag.String("unrelated", "", "LEAVES:lo,hi per-leaf sizes")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	size, err := cli.ParseSize(*sizeSpec)
+	if err != nil {
+		fatal(err)
+	}
+	r := rng.New(*seed)
+	cfg := workload.GenConfig{N: *n, Size: size, Load: *load, Capacity: *capacity}
+	var tr *workload.Trace
+	switch *process {
+	case "poisson":
+		tr, err = workload.Poisson(r, cfg)
+	case "bursty":
+		tr, err = workload.Bursty(r, cfg, *burst)
+	case "adversarial":
+		tr = workload.Adversarial(r, *n, 32)
+	default:
+		err = fmt.Errorf("unknown process %q", *process)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *unrelated != "" {
+		ucfg, err := cli.ParseUnrelated(*unrelated)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.MakeUnrelated(r, tr, ucfg); err != nil {
+			fatal(err)
+		}
+	}
+	if *eps > 0 {
+		workload.RoundTraceToClasses(tr, *eps)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, total work %.4g, span %.4g, mean size %.4g, max size %.4g, offered %.4g/s\n",
+		st.Jobs, st.TotalWork, st.Span, st.MeanSize, st.MaxSize, st.OfferedPerSec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command treesched runs one simulation of the tree network
+// scheduling model and reports flow-time metrics.
+//
+// Usage:
+//
+//	treesched -topo fattree:2,2,2 -n 2000 -load 0.9 -assigner greedy \
+//	          -policy sjf -speed 1.5 -eps 0.5 -seed 1 [-unrelated]
+//	          [-render] [-gantt] [-trace jobs.json]
+//
+// Topologies: fattree:arity,depth,leaves | star:n | line:n |
+// caterpillar:spine,leaves | broomstick:branches,handle,leaves |
+// random:branches,maxdepth,maxchildren.
+// Assigners: greedy | shadow | closest | random | roundrobin |
+// leastvolume | minpath | jsq.
+// Policies: sjf | fifo | srpt | lcfs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"treesched/internal/cli"
+	"treesched/internal/core"
+	"treesched/internal/lowerbound"
+	"treesched/internal/metrics"
+	"treesched/internal/rng"
+	"treesched/internal/sim"
+	"treesched/internal/trace"
+	"treesched/internal/workload"
+)
+
+func main() {
+	topo := flag.String("topo", "fattree:2,2,2", "topology spec")
+	n := flag.Int("n", 2000, "number of jobs")
+	load := flag.Float64("load", 0.9, "offered load vs root capacity")
+	assigner := flag.String("assigner", "greedy", "leaf assignment policy")
+	policy := flag.String("policy", "sjf", "node scheduling policy")
+	speed := flag.Float64("speed", 1.5, "uniform node speed (resource augmentation)")
+	eps := flag.Float64("eps", 0.5, "greedy rule epsilon / size class base-1")
+	seed := flag.Uint64("seed", 1, "random seed")
+	unrelated := flag.Bool("unrelated", false, "unrelated leaf processing times")
+	packetized := flag.Bool("packetized", false, "unit-packet forwarding mode")
+	render := flag.Bool("render", false, "print the topology before running")
+	dot := flag.String("dot", "", "write the topology as Graphviz dot to this file")
+	checkLemmas := flag.Bool("checklemmas", false, "validate Lemma 1/2 bounds during the run (forces lemma speed profile: 1x root-adjacent, (1+eps)x elsewhere)")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart (instrumented)")
+	traceOut := flag.String("trace", "", "write the generated workload trace to this JSON file")
+	resultOut := flag.String("result", "", "write per-job results to this JSON file")
+	flag.Parse()
+
+	t, err := cli.ParseTopo(*topo)
+	if err != nil {
+		fatal(err)
+	}
+	if *render {
+		fmt.Print(trace.RenderTree(t))
+	}
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(trace.DOT(t)), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkLemmas {
+		// Lemmas 1-2 assume speed 1 on root-adjacent nodes and at
+		// least 1+eps elsewhere.
+		t = t.WithSpeeds(1, 1+*eps, 1+*eps)
+	} else {
+		t = t.WithUniformSpeed(*speed)
+	}
+
+	r := rng.New(*seed)
+	tr, err := workload.Poisson(r, workload.GenConfig{
+		N:        *n,
+		Size:     workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 16}, Eps: *eps},
+		Load:     *load,
+		Capacity: float64(len(t.RootAdjacent())),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *unrelated {
+		if err := workload.MakeUnrelated(r, tr, workload.UnrelatedConfig{Leaves: len(t.Leaves()), Lo: 0.5, Hi: 2}); err != nil {
+			fatal(err)
+		}
+		workload.RoundTraceToClasses(tr, *eps)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	asg, err := cli.ParseAssigner(*assigner, t, *eps, *unrelated, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := cli.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	var lemma2 *core.Lemma2Checker
+	opts := sim.Options{Policy: pol, Instrument: *gantt || *checkLemmas}
+	if *checkLemmas {
+		lemma2 = &core.Lemma2Checker{Eps: *eps, Unrelated: *unrelated, SampleStride: 5}
+		opts.Observer = lemma2.Observe
+	}
+	run := sim.Run
+	if *packetized {
+		run = sim.RunPacketized
+	}
+	res, err := run(t, tr, asg, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	lb := lowerbound.Best(t, tr)
+	sum := metrics.FlowSummary(res)
+	fmt.Printf("topology        %s (%d nodes, %d machines)\n", *topo, t.NumNodes(), len(t.Leaves()))
+	fmt.Printf("workload        %d jobs, load %.2f, seed %d\n", *n, *load, *seed)
+	fmt.Printf("scheduler       %s + %s, speed %.2f\n", asg.Name(), pol.Name(), *speed)
+	fmt.Printf("total flow      %.4g\n", res.Stats.TotalFlow)
+	fmt.Printf("fractional flow %.4g\n", res.Stats.FracFlow)
+	fmt.Printf("flow/job        %s\n", sum)
+	fmt.Printf("makespan        %.4g, events %d\n", res.Stats.Makespan, res.Stats.Events)
+	fmt.Printf("OPT lower bound %.4g  =>  competitive ratio <= %.3f\n", lb, res.Stats.TotalFlow/lb)
+	b := metrics.Bottleneck(res)
+	fmt.Printf("bottleneck      node %d at %.1f%% busy\n", b.Node, 100*b.Busy)
+	if *checkLemmas {
+		rep1 := core.CheckLemma1(res, *eps, *unrelated)
+		fmt.Printf("Lemma 1         %d jobs, max ratio %.4f, violations %d\n", rep1.Jobs, rep1.MaxRatio, rep1.Violations)
+		fmt.Printf("Lemma 2         %d checks, max ratio %.4f, violations %d\n", lemma2.Checks, lemma2.MaxRatio, lemma2.Violations)
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(res, 100))
+	}
+	if *resultOut != "" {
+		f, err := os.Create(*resultOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "treesched:", err)
+	os.Exit(1)
+}

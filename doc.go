@@ -1,0 +1,35 @@
+// Package treesched is a faithful, executable reproduction of
+// "Scheduling in Bandwidth Constrained Tree Networks" (Sungjin Im and
+// Benjamin Moseley, SPAA 2015).
+//
+// The paper introduces online scheduling of jobs that arrive at the
+// root of a tree network and must be routed, store-and-forward and
+// under per-node bandwidth constraints, to leaf machines that process
+// them; the objective is total flow time. This module provides:
+//
+//   - a continuous-time discrete-event simulator of the model
+//     (identical and unrelated endpoints, per-node speeds, preemptive
+//     node policies, exact integral and fractional flow accounting);
+//   - the paper's algorithms: SJF at every node, the greedy leaf
+//     assignment rules of Sections 3.4-3.6, the broomstick reduction
+//     of Section 3.3, and the general-tree shadow algorithm of
+//     Section 3.7;
+//   - baselines (closest/random/round-robin/least-volume/...)
+//     and node-policy alternatives (FIFO, SRPT, LCFS);
+//   - valid lower bounds on OPT (combinatorial, plus the paper's
+//     time-indexed LP solved exactly by a built-in simplex);
+//   - validators for the paper's structural lemmas (Lemmas 1, 2, 3
+//     and 8) that check the proofs' invariants inside live schedules;
+//   - an experiment suite (internal/experiments, cmd/experiments)
+//     that regenerates every figure/claim listed in DESIGN.md.
+//
+// # Quick start
+//
+//	t := treesched.FatTree(2, 2, 2)           // 2-ary fat tree
+//	trace, _ := treesched.PoissonTrace(1, 1000, 0.9, t)
+//	res, _ := treesched.Run(t, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+//	fmt.Println("avg flow:", res.AvgFlow())
+//
+// See examples/ for runnable programs and DESIGN.md for the full
+// system inventory and experiment index.
+package treesched

@@ -1,0 +1,87 @@
+package treesched_test
+
+import (
+	"fmt"
+
+	"treesched"
+)
+
+// ExampleRun schedules a tiny deterministic workload with the paper's
+// algorithm and prints the completions.
+func ExampleRun() {
+	network := treesched.Star(2) // one relay router, two machines
+	trace := &treesched.Trace{Jobs: []treesched.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0.5, Size: 1},
+	}}
+	res, err := treesched.Run(network, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, j := range res.Jobs {
+		fmt.Printf("job %d: completed %.1f, flow %.1f\n", j.ID, j.Completion, j.Flow)
+	}
+	fmt.Printf("total flow %.1f\n", res.Stats.TotalFlow)
+	// Output:
+	// job 0: completed 5.0, flow 5.0
+	// job 1: completed 2.5, flow 2.0
+	// total flow 7.0
+}
+
+// ExampleReduce shows the Section 3.3 broomstick reduction invariants.
+func ExampleReduce() {
+	t := treesched.FatTree(2, 2, 1)
+	bs, err := treesched.Reduce(t)
+	if err != nil {
+		panic(err)
+	}
+	leaf := bs.Reduced.Leaves()[0]
+	orig := bs.ToOriginal[bs.Reduced.LeafIndex(leaf)]
+	fmt.Printf("leaves preserved: %v\n", len(bs.Reduced.Leaves()) == len(t.Leaves()))
+	fmt.Printf("depth change: %d -> %d\n", t.Depth(orig), bs.Reduced.Depth(leaf))
+	// Output:
+	// leaves preserved: true
+	// depth change: 3 -> 5
+}
+
+// ExampleNewShadow runs the general-tree algorithm of Section 3.7 and
+// verifies the Lemma 8 relation against its internal broomstick.
+func ExampleNewShadow() {
+	t := treesched.FatTree(2, 1, 2)
+	trace := &treesched.Trace{Jobs: []treesched.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0.25, Size: 1},
+		{ID: 2, Release: 0.5, Size: 4},
+	}}
+	sh, err := treesched.NewShadow(t, treesched.ShadowConfig{Eps: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	res, err := treesched.Run(t, trace, sh, treesched.Options{})
+	if err != nil {
+		panic(err)
+	}
+	sh.Finish()
+	rep := treesched.CheckLemma8(res, sh)
+	fmt.Printf("jobs %d, per-job violations %d\n", rep.Jobs, rep.Violations)
+	// Output:
+	// jobs 3, per-job violations 0
+}
+
+// ExampleOPTLowerBound bounds the competitive ratio of a run.
+func ExampleOPTLowerBound() {
+	network := treesched.Star(2)
+	trace := &treesched.Trace{Jobs: []treesched.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 1, Size: 2},
+	}}
+	res, err := treesched.Run(network, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+	if err != nil {
+		panic(err)
+	}
+	lb := treesched.OPTLowerBound(network, trace)
+	fmt.Printf("flow %.1f, OPT >= %.1f, ratio <= %.2f\n",
+		res.Stats.TotalFlow, lb, res.Stats.TotalFlow/lb)
+	// Output:
+	// flow 9.0, OPT >= 9.0, ratio <= 1.00
+}

@@ -1,0 +1,53 @@
+// Certificates: the paper's dual-fitting analysis, executed. The
+// Section 3.5 dual variables are constructed inside a live run of the
+// greedy algorithm on a broomstick; if the LP-Dual constraints all
+// hold (they are checked at event granularity), weak duality turns
+// the run itself into a machine-checked certificate: a lower bound on
+// the optimal total flow time of this very instance, and hence an
+// upper bound on the algorithm's competitive ratio on it.
+//
+//	go run ./examples/certificates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treesched"
+	"treesched/internal/rng"
+	"treesched/internal/workload"
+)
+
+func main() {
+	// The structure the analysis targets: a broomstick (per-branch
+	// handle of routers with machines hanging off it).
+	stick := treesched.BroomstickTree(2, 4, 2)
+
+	fmt.Println("dual-fitting certificates on a 2-branch broomstick, 1000 jobs each:")
+	fmt.Printf("%-6s %-10s %-10s %-12s %-14s %-10s\n",
+		"eps", "C4 viol", "C5 viol", "frac cost", "certified LB", "ratio<=")
+	for _, eps := range []float64{0.1, 0.25, 0.5} {
+		trace, err := workload.Poisson(rng.New(101), workload.GenConfig{
+			N:        1000,
+			Size:     workload.ClassRounded{Base: treesched.UniformSize{Lo: 1, Hi: 16}, Eps: eps},
+			Load:     0.9,
+			Capacity: float64(len(stick.RootAdjacent())),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := treesched.RunDualFit(stick, trace, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio := 0.0
+		if rep.CertifiedOPTLowerBound > 0 {
+			ratio = rep.FracCost / rep.CertifiedOPTLowerBound
+		}
+		fmt.Printf("%-6g %-10d %-10d %-12.4g %-14.4g %-10.3f\n",
+			eps, rep.C4Violations, rep.C5Violations, rep.FracCost, rep.CertifiedOPTLowerBound, ratio)
+	}
+	fmt.Println("\nzero violations = the dual is feasible, so by weak duality")
+	fmt.Println("OPT >= dual/3 on this instance — the analysis of Theorem 5,")
+	fmt.Println("re-run as an executable per-instance proof.")
+}

@@ -1,0 +1,91 @@
+// Datacenter: the scenario the paper's introduction motivates — a
+// MapReduce-style cluster where moving job data through the network
+// is the bottleneck. Machines sit under a fat-tree fabric; the
+// workload mixes mice (small queries) and elephants (large analytics
+// jobs). The example sweeps load and shows how each assignment policy
+// degrades, plus where the fabric saturates.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"treesched"
+	"treesched/internal/metrics"
+	"treesched/internal/rng"
+	"treesched/internal/table"
+	"treesched/internal/workload"
+)
+
+func main() {
+	// 3-ary fabric, 2 aggregation levels, 3 machines per rack: 40
+	// nodes, 27 machines.
+	fabric := treesched.FatTree(3, 2, 3)
+
+	// Elephants and mice: 95% small transfers, 5% hundred-unit jobs.
+	sizes := treesched.BimodalSize{Small: 1, Big: 100, PBig: 0.05}
+
+	assigners := map[string]func() treesched.Assigner{
+		"greedy (paper)": func() treesched.Assigner { return treesched.NewGreedyIdentical(0.5) },
+		"closest leaf":   func() treesched.Assigner { return treesched.ClosestLeaf{} },
+		"round robin":    func() treesched.Assigner { return &treesched.RoundRobin{} },
+		"least volume":   func() treesched.Assigner { return treesched.LeastVolume{} },
+	}
+	order := []string{"greedy (paper)", "closest leaf", "round robin", "least volume"}
+
+	tb := table.New("Average flow time by offered load (3-ary fabric, elephants & mice)",
+		"assigner", "load 0.4", "load 0.7", "load 0.9")
+	loads := []float64{0.4, 0.7, 0.9}
+	for _, name := range order {
+		row := []interface{}{name}
+		for _, load := range loads {
+			trace, err := workload.Poisson(rng.New(7), workload.GenConfig{
+				N: 3000, Size: sizes, Load: load,
+				Capacity: float64(len(fabric.RootAdjacent())),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := treesched.Run(fabric, trace, assigners[name](), treesched.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, res.AvgFlow())
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Print(tb.Text())
+
+	// Where does the fabric saturate? Show the bottleneck at high load.
+	trace, err := workload.Poisson(rng.New(7), workload.GenConfig{
+		N: 3000, Size: sizes, Load: 0.9,
+		Capacity: float64(len(fabric.RootAdjacent())),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := metrics.NewQueueSampler()
+	res, err := treesched.Run(fabric, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{Observer: qs.Observe})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := metrics.Bottleneck(res)
+	hot := qs.Hottest()
+	fmt.Printf("\nbottleneck under greedy at load 0.9: node %d at %.1f%% busy\n", b.Node, 100*b.Busy)
+	fmt.Printf("hottest queue: node %d averaging %.1f jobs (max %d)\n", hot.Node, hot.Avg, hot.Max)
+	fmt.Printf("flow-time distribution: %s\n", metrics.FlowSummary(res))
+
+	// How much does upgrading the fabric (resource augmentation) buy?
+	fmt.Println("\nspeed-upgrade sweep (greedy):")
+	for _, s := range []float64{1.0, 1.25, 1.5, 2.0} {
+		res, err := treesched.Run(fabric.WithUniformSpeed(s), trace, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  speed %.2fx -> avg flow %.2f\n", s, res.AvgFlow())
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,151 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"treesched/internal/workload"
+)
+
+func TestParseTopoValid(t *testing.T) {
+	cases := []struct {
+		spec   string
+		leaves int
+	}{
+		{"fattree:2,2,2", 8},
+		{"star:4", 4},
+		{"line:3", 1},
+		{"caterpillar:3,2", 6},
+		{"broomstick:2,3,1", 4},
+	}
+	for _, c := range cases {
+		tr, err := ParseTopo(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if len(tr.Leaves()) != c.leaves {
+			t.Fatalf("%s: leaves = %d, want %d", c.spec, len(tr.Leaves()), c.leaves)
+		}
+	}
+}
+
+func TestParseTopoRandomReproducible(t *testing.T) {
+	a, err := ParseTopo("random:2,4,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseTopo("random:2,4,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatal("random topology spec is not reproducible")
+	}
+}
+
+func TestParseTopoErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "mesh:2", "fattree:2,2", "fattree:a,b,c", "star", "line:0",
+	} {
+		if _, err := ParseTopo(spec); err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseTopoLinePanicsOnZero(t *testing.T) {
+	// line:0 should error, not panic (generator panics are translated).
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("ParseTopo(line:0) panicked: %v", r)
+		}
+	}()
+	_, _ = ParseTopo("line:0")
+}
+
+func TestParseSize(t *testing.T) {
+	u, err := ParseSize("uniform:1,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Mean() != 8.5 {
+		t.Fatalf("uniform mean %v", u.Mean())
+	}
+	b, err := ParseSize("bimodal:1,100,0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() == "" {
+		t.Fatal("empty name")
+	}
+	p, err := ParseSize("pareto:1,1.5,200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mean() <= 0 {
+		t.Fatal("pareto mean")
+	}
+	for _, spec := range []string{"uniform:1", "normal:0,1", "pareto:1,2", "bimodal:x,y,z"} {
+		if _, err := ParseSize(spec); err == nil {
+			t.Fatalf("size spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"sjf", "fifo", "srpt", "lcfs", "ps"} {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.EqualFold(p.Name(), name) {
+			t.Fatalf("policy %q resolved to %q", name, p.Name())
+		}
+	}
+	if _, err := ParsePolicy("edf"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestParseAssigner(t *testing.T) {
+	tr, err := ParseTopo("star:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"greedy", "shadow", "closest", "random", "roundrobin", "leastvolume", "minpath", "jsq"} {
+		a, err := ParseAssigner(name, tr, 0.5, false, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() == "" {
+			t.Fatalf("%s: empty name", name)
+		}
+	}
+	// Unrelated variant switches the greedy implementation.
+	a, err := ParseAssigner("greedy", tr, 0.5, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "GreedyUnrelated" {
+		t.Fatalf("unrelated greedy resolved to %q", a.Name())
+	}
+	if _, err := ParseAssigner("oracle", tr, 0.5, false, 1); err == nil {
+		t.Fatal("unknown assigner accepted")
+	}
+}
+
+func TestParseUnrelated(t *testing.T) {
+	cfg, err := ParseUnrelated("8:0.5,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.UnrelatedConfig{Leaves: 8, Lo: 0.5, Hi: 2}
+	if cfg != want {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	for _, spec := range []string{"8", "x:1,2", "8:1", "8:a,b"} {
+		if _, err := ParseUnrelated(spec); err == nil {
+			t.Fatalf("unrelated spec %q accepted", spec)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"treesched/internal/rng"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func dualTrace(t *testing.T, seed uint64, n int, eps, load float64) *workload.Trace {
+	t.Helper()
+	r := rng.New(seed)
+	tr, err := workload.Poisson(r, workload.GenConfig{
+		N:        n,
+		Size:     workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 16}, Eps: eps},
+		Load:     load,
+		Capacity: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestDualFitFeasible(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.25, 0.5, 1.0} {
+		tr := tree.BroomstickTree(2, 4, 2)
+		trace := dualTrace(t, 31, 400, eps, 0.9)
+		rep, err := RunDualFit(tr, trace, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.C4Checks == 0 || rep.C5Checks == 0 {
+			t.Fatalf("eps=%v: no constraint checks ran", eps)
+		}
+		if rep.C4Violations != 0 {
+			t.Fatalf("eps=%v: %d constraint-(4) violations", eps, rep.C4Violations)
+		}
+		if rep.C5Violations != 0 {
+			t.Fatalf("eps=%v: %d constraint-(5) violations (max ratio %v)", eps, rep.C5Violations, rep.C5MaxSlackRatio)
+		}
+		// Lemma 4 direction: Σβ exceeds the fractional cost.
+		if rep.BetaOverCost < 1+eps {
+			t.Fatalf("eps=%v: sum-beta/cost = %v < 1+eps", eps, rep.BetaOverCost)
+		}
+		if rep.CertifiedOPTLowerBound <= 0 {
+			t.Fatalf("eps=%v: no certified bound (dual obj %v)", eps, rep.DualObjective)
+		}
+		// The certificate must sit below the algorithm's own cost
+		// (it bounds OPT, which is below any schedule's cost).
+		if rep.CertifiedOPTLowerBound > rep.FracCost {
+			t.Fatalf("eps=%v: certified LB %v above the algorithm's cost %v",
+				eps, rep.CertifiedOPTLowerBound, rep.FracCost)
+		}
+	}
+}
+
+func TestDualFitOverload(t *testing.T) {
+	// Feasibility is a structural property; it must survive overload.
+	tr := tree.BroomstickTree(2, 3, 2)
+	trace := dualTrace(t, 37, 400, 0.5, 1.3)
+	rep, err := RunDualFit(tr, trace, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.C4Violations != 0 || rep.C5Violations != 0 {
+		t.Fatalf("violations under overload: C4=%d C5=%d", rep.C4Violations, rep.C5Violations)
+	}
+}
+
+func TestDualFitRejectsNonBroomstick(t *testing.T) {
+	trace := dualTrace(t, 1, 10, 0.5, 0.5)
+	if _, err := RunDualFit(tree.FatTree(2, 2, 2), trace, 0.5); err == nil {
+		t.Fatal("accepted a non-broomstick tree")
+	}
+}
+
+func TestDualFitRejectsUnrelated(t *testing.T) {
+	tr := tree.BroomstickTree(1, 2, 2)
+	trace := dualTrace(t, 1, 10, 0.5, 0.5)
+	r := rng.New(2)
+	if err := workload.MakeUnrelated(r, trace, workload.UnrelatedConfig{Leaves: len(tr.Leaves()), Lo: 0.5, Hi: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDualFit(tr, trace, 0.5); err == nil {
+		t.Fatal("accepted unrelated endpoints")
+	}
+}
+
+func TestDualFitRejectsBadEps(t *testing.T) {
+	tr := tree.BroomstickTree(1, 2, 2)
+	trace := dualTrace(t, 1, 10, 0.5, 0.5)
+	if _, err := RunDualFit(tr, trace, 0); err == nil {
+		t.Fatal("accepted eps=0")
+	}
+	if _, err := RunDualFit(tr, trace, 2); err == nil {
+		t.Fatal("accepted eps=2")
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements the algorithmic contribution of Im &
+// Moseley (SPAA 2015): the greedy leaf-assignment rules for identical
+// and unrelated endpoints (Sections 3.4–3.6), the potential function
+// Φ_j(t) of Lemma 3, validators for the structural Lemmas 1 and 2, and
+// the general-tree algorithm that simulates a broomstick online and
+// copies its assignments (Section 3.7).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+)
+
+// GreedyConfig tunes the paper's assignment rule.
+type GreedyConfig struct {
+	// Eps is the ε of the analysis; the distance term weighs
+	// (6/ε²)·d_v·p_j. Must be in (0, 1] for the paper's constants to
+	// make sense (larger values are allowed for ablation sweeps).
+	Eps float64
+	// DropDistanceTerm removes the (6/ε²)d_v p_j term (ablation B5).
+	DropDistanceTerm bool
+	// DropVolumeTerm removes F(j,v) (and F'(j,v)) entirely,
+	// degenerating to pure distance-greedy assignment (ablation B5).
+	DropVolumeTerm bool
+	// DistanceWeight overrides the 6/eps^2 coefficient of the
+	// distance term when positive. The analysis needs the full
+	// constant; experiment B5 shows a weight of ~1 (plain path work
+	// P_{j,v}) performs better in practice.
+	DistanceWeight float64
+}
+
+func (c GreedyConfig) validate() {
+	if c.Eps <= 0 {
+		panic(fmt.Sprintf("core: GreedyConfig.Eps must be positive, got %v", c.Eps))
+	}
+}
+
+// distanceWeight is the coefficient of the distance term: the paper's
+// 6/ε² unless overridden.
+func (c GreedyConfig) distanceWeight() float64 {
+	if c.DistanceWeight > 0 {
+		return c.DistanceWeight
+	}
+	return 6 / (c.Eps * c.Eps)
+}
+
+// F computes the paper's F(j,v) for a candidate leaf v at time t=r_j:
+//
+//	F(j,v) = Σ_{J_i ∈ S_{R(v),j}(t)} p^A_{i,R(v)}(t)
+//	       + p_j · |{J_i ∈ Q_{R(v)}(t) : p_i > p_j}|
+//
+// The first term is the higher-priority volume the job must wait for
+// on its root-adjacent node (S includes J_j itself, contributing p_j);
+// the second charges the job for every lower-priority job it delays.
+func F(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
+	r := q.Tree().Branch(v)
+	return q.AvailVolumeHigher(r, a.Size, a.Release, a.ID) + a.Size +
+		a.Size*float64(q.AvailCountLarger(r, a.Size))
+}
+
+// FPrime computes the paper's F'(j,v) for unrelated endpoints:
+//
+//	F'(j,v) = Σ_{J_i ∈ S_{v,j}(t)} p^A_{i,v}(t)
+//	        + p_{j,v} · Σ_{J_i ∈ Q_v(t), p_{i,v} > p_{j,v}} p^A_{i,v}(t)/p_{i,v}
+//
+// mirroring F at the leaf itself, with the displacement term weighted
+// by the delayed jobs' remaining fractions.
+func FPrime(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
+	pjv := a.LeafSize(q.Tree().LeafIndex(v))
+	return q.LeafVolumeHigher(v, pjv, a.Release, a.ID) + pjv +
+		pjv*q.LeafFracLarger(v, pjv)
+}
+
+// GreedyIdentical is the paper's assignment rule for the identical
+// endpoint setting (Section 3.5): assign the arriving job to
+//
+//	argmin_{v ∈ L} { F(j,v) + (6/ε²)·d_v·p_j }.
+type GreedyIdentical struct {
+	Cfg GreedyConfig
+}
+
+// NewGreedyIdentical constructs the identical-endpoint greedy rule.
+func NewGreedyIdentical(eps float64) *GreedyIdentical {
+	g := &GreedyIdentical{Cfg: GreedyConfig{Eps: eps}}
+	g.Cfg.validate()
+	return g
+}
+
+// Name implements sim.Assigner.
+func (g *GreedyIdentical) Name() string { return "GreedyIdentical" }
+
+// Assign implements sim.Assigner. F(j,v) depends only on the
+// root-adjacent ancestor R(v), so it is computed once per branch and
+// shared by all leaves below it.
+func (g *GreedyIdentical) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
+	g.Cfg.validate()
+	t := q.Tree()
+	fCache := make(map[tree.NodeID]float64, len(t.RootAdjacent()))
+	best := tree.None
+	bestCost := math.Inf(1)
+	for _, v := range eligibleLeaves(q, a) {
+		var cost float64
+		if !g.Cfg.DropVolumeTerm {
+			r := t.Branch(v)
+			f, ok := fCache[r]
+			if !ok {
+				f = F(q, a, v)
+				fCache[r] = f
+			}
+			cost += f
+		}
+		if !g.Cfg.DropDistanceTerm {
+			cost += g.Cfg.distanceWeight() * float64(t.Depth(v)) * a.Size
+		}
+		if cost < bestCost {
+			best, bestCost = v, cost
+		}
+	}
+	return best
+}
+
+// Cost exposes the rule's objective for a candidate leaf (used by the
+// dual-fitting experiment to compute β_j = min_v cost).
+func (g *GreedyIdentical) Cost(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
+	return F(q, a, v) + g.Cfg.distanceWeight()*float64(q.Tree().Depth(v))*a.Size
+}
+
+// GreedyUnrelated is the paper's assignment rule for the unrelated
+// endpoint setting (Section 3.6): assign the arriving job to
+//
+//	argmin_{v ∈ L} { F(j,v) + F'(j,v) + (6/ε²)·d_v·p_j }.
+type GreedyUnrelated struct {
+	Cfg GreedyConfig
+}
+
+// NewGreedyUnrelated constructs the unrelated-endpoint greedy rule.
+func NewGreedyUnrelated(eps float64) *GreedyUnrelated {
+	g := &GreedyUnrelated{Cfg: GreedyConfig{Eps: eps}}
+	g.Cfg.validate()
+	return g
+}
+
+// Name implements sim.Assigner.
+func (g *GreedyUnrelated) Name() string { return "GreedyUnrelated" }
+
+// Assign implements sim.Assigner. The F term is cached per branch
+// (it depends only on R(v)); F' must be evaluated per leaf.
+func (g *GreedyUnrelated) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
+	g.Cfg.validate()
+	t := q.Tree()
+	fCache := make(map[tree.NodeID]float64, len(t.RootAdjacent()))
+	best := tree.None
+	bestCost := math.Inf(1)
+	for _, v := range eligibleLeaves(q, a) {
+		var cost float64
+		if !g.Cfg.DropVolumeTerm {
+			r := t.Branch(v)
+			f, ok := fCache[r]
+			if !ok {
+				f = F(q, a, v)
+				fCache[r] = f
+			}
+			cost += f + FPrime(q, a, v)
+		}
+		if !g.Cfg.DropDistanceTerm {
+			cost += g.Cfg.distanceWeight() * float64(t.Depth(v)) * a.Size
+		}
+		if cost < bestCost {
+			best, bestCost = v, cost
+		}
+	}
+	return best
+}
+
+// Cost exposes the unrelated rule's objective for a candidate leaf.
+func (g *GreedyUnrelated) Cost(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
+	return F(q, a, v) + FPrime(q, a, v) +
+		g.Cfg.distanceWeight()*float64(q.Tree().Depth(v))*a.Size
+}
+
+// eligibleLeaves honors the arbitrary-origin extension: jobs released
+// at an interior node may only be assigned below it.
+func eligibleLeaves(q *sim.Query, a *sim.Arrival) []tree.NodeID {
+	if a.Origin == 0 {
+		return q.Tree().Leaves()
+	}
+	t := q.Tree()
+	if t.IsLeaf(a.Origin) {
+		return []tree.NodeID{a.Origin}
+	}
+	return t.SubtreeLeaves(a.Origin)
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+)
+
+// Phi evaluates the Lemma 3 potential for an active job js at the
+// current instant:
+//
+//	Φ_j(t) = (1/s)·max_{v ∈ P_j(t)} { Σ_{J_i ∈ S_{v,j}(t)} p^A_{i,v}(t)
+//	                                 + (2/ε)·(d_j(t) − d_{v,j}(t))·p_j }
+//
+// where P_j(t) is the set of *identical* nodes the job still needs
+// (all remaining routers, plus the leaf in the identical setting),
+// d_j(t) is the number of remaining nodes and d_{v,j}(t) the number of
+// nodes needed to reach v. Lemma 3 states that, with speed s ≥ 1+ε on
+// all nodes except those adjacent to the root, Φ_j(t) bounds the
+// job's remaining time to clear its last identical node assuming no
+// further arrivals.
+//
+// The query must come from an engine with Options.Instrument enabled.
+// unrelated excludes the leaf from P_j(t), matching the unrelated
+// endpoint setting where the leaf is not an identical node.
+func Phi(q *sim.Query, js *sim.JobState, eps, s float64, unrelated bool) float64 {
+	if js.Completed {
+		return 0
+	}
+	last := len(js.Path)
+	if unrelated {
+		last-- // leaf is not an identical node
+	}
+	dj := float64(last - js.Hop) // d_j(t): remaining identical nodes
+	best := 0.0
+	for idx := js.Hop; idx < last; idx++ {
+		v := js.Path[idx]
+		vol := sValue(q, js, v)
+		dvj := float64(idx - js.Hop + 1) // nodes needed to reach v, inclusive
+		term := vol + (2/eps)*(dj-dvj)*js.RouterSize
+		if term > best {
+			best = term
+		}
+	}
+	return best / s
+}
+
+// sValue computes Σ_{J_i ∈ S_{v,j}(t)} p^A_{i,v}(t): the remaining
+// volume on node v of jobs with higher SJF priority than js on v,
+// including js itself.
+func sValue(q *sim.Query, js *sim.JobState, v tree.NodeID) float64 {
+	size := q.PrioSizeOn(js, v)
+	var sum float64
+	for _, i := range q.PendingOn(v) {
+		if i == js || q.HigherPriorityOn(i, v, size, js.Release, js.ID) {
+			sum += q.RemainingOn(i, v)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"time"
+
+	"treesched/internal/core"
+	"treesched/internal/plot"
+	"treesched/internal/rng"
+	"treesched/internal/sched"
+	"treesched/internal/sim"
+	"treesched/internal/table"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func init() {
+	register(&Experiment{ID: "B1", Title: "Leaf-assignment policy comparison across loads", Paper: "Introduction / Section 3.1 motivation", Run: runB1})
+	register(&Experiment{ID: "B2", Title: "Node scheduling policy comparison (SJF vs FIFO/SRPT/LCFS)", Paper: "SJF choice (Section 2)", Run: runB2})
+	register(&Experiment{ID: "B3", Title: "Resource augmentation sweep", Paper: "Theorems 1-2 (speed requirement)", Run: runB3})
+	register(&Experiment{ID: "B4", Title: "Engine throughput", Paper: "(engineering)", Run: runB4})
+	register(&Experiment{ID: "B5", Title: "Greedy assignment term ablation", Paper: "Section 3.4 assignment rule", Run: runB5})
+	register(&Experiment{ID: "B6", Title: "Store-and-forward vs packetized forwarding", Paper: "Section 2 remark", Run: runB6})
+	register(&Experiment{ID: "B7", Title: "Shadow-on-broomstick vs greedy directly on T", Paper: "Section 3.7", Run: runB7})
+	register(&Experiment{ID: "B8", Title: "Queue implementation ablation (heap vs scan)", Paper: "(engineering)", Run: runB8})
+}
+
+// runB1 is the headline baseline study: congestion-aware assignment
+// (the paper's greedy) against proximity, random, round-robin and
+// volume-based baselines, across load levels and an adversarial trace.
+func runB1(cfg Config) (*Output, error) {
+	out := &Output{}
+	base := tree.FatTree(2, 2, 2)
+	n := cfg.scaled(2500)
+	mk := func() []sim.Assigner {
+		return []sim.Assigner{
+			core.NewGreedyIdentical(0.5),
+			sched.ClosestLeaf{},
+			&sched.RandomLeaf{R: rng.New(cfg.Seed + 99)},
+			&sched.RoundRobin{},
+			sched.LeastVolume{},
+			sched.MinPathWork{},
+			sched.JoinShortestQueue{},
+		}
+	}
+	tb := table.New("B1 — avg flow time by assigner and load (identical endpoints, SJF nodes)",
+		"assigner", "load 0.5", "load 0.8", "load 0.95", "adversarial")
+	type rowData struct {
+		name string
+		vals []float64
+	}
+	var rows []rowData
+	for i, asg := range mk() {
+		rd := rowData{name: asg.Name()}
+		for _, load := range []float64{0.5, 0.8, 0.95} {
+			trace := poisson(cfg.rng(800+uint64(load*100)), n, classSizes(0.5), load, float64(len(base.RootAdjacent())))
+			res, err := sim.Run(base, trace, mk()[i], sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rd.vals = append(rd.vals, res.AvgFlow())
+		}
+		adv := workload.Adversarial(cfg.rng(870), cfg.scaled(600), 32)
+		res, err := sim.Run(base, adv, mk()[i], sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rd.vals = append(rd.vals, res.AvgFlow())
+		rows = append(rows, rd)
+	}
+	for _, rd := range rows {
+		tb.AddRow(rd.name, rd.vals[0], rd.vals[1], rd.vals[2], rd.vals[3])
+	}
+	tb.AddNote("ClosestLeaf funnels every job into one branch (all leaves tie on depth, ties break by ID) — the failure mode Section 3.1 warns about; congestion-aware rules stay flat as load rises")
+	out.add(tb)
+	return out, nil
+}
+
+// runB2 compares node policies under a fixed assigner on a
+// heavy-tailed workload, where size-aware policies matter most.
+func runB2(cfg Config) (*Output, error) {
+	out := &Output{}
+	base := tree.FatTree(2, 2, 2)
+	n := cfg.scaled(2500)
+	sizes := workload.ParetoSize{Min: 1, Alpha: 1.5, Cap: 200}
+	tb := table.New("B2 — node policy comparison (LeastVolume assigner, Pareto sizes, load 0.9)",
+		"policy", "avg flow", "p99 flow", "max flow")
+	for _, pol := range []sim.Policy{sim.SJF{}, sim.SRPT{}, sim.FIFO{}, sim.LCFS{}, sim.PS{}} {
+		trace := poisson(cfg.rng(900), n, sizes, 0.9, float64(len(base.RootAdjacent())))
+		res, err := sim.Run(base, trace, sched.LeastVolume{}, sim.Options{Policy: pol})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(pol.Name(), res.AvgFlow(), quantileFlow(res, 0.99), res.Stats.MaxFlow)
+	}
+	tb.AddNote("SJF/SRPT dominate on average flow, exactly why the paper builds on SJF; FIFO trades average for tail; PS (fair-queueing routers, the deployed default) sits in between — the cost of not using size information")
+	out.add(tb)
+	return out, nil
+}
+
+func quantileFlow(res *sim.Result, q float64) float64 {
+	flows := make([]float64, len(res.Jobs))
+	for i := range res.Jobs {
+		flows[i] = res.Jobs[i].Flow
+	}
+	// inline to avoid a metrics import cycle risk; small helper
+	return quantile(flows, q)
+}
+
+func quantile(data []float64, q float64) float64 {
+	cp := append([]float64(nil), data...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	if len(cp) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// runB3 sweeps node speed: how much augmentation the greedy algorithm
+// needs before its flow approaches the lower bound.
+func runB3(cfg Config) (*Output, error) {
+	out := &Output{}
+	base := tree.FatTree(2, 2, 2)
+	n := cfg.scaled(2000)
+	tb := table.New("B3 — total flow vs uniform node speed (load 0.95 at speed 1)",
+		"speed", "identical avg flow", "unrelated avg flow")
+	var xs, yi, yu []float64
+	for _, s := range []float64{1.0, 1.1, 1.25, 1.5, 2.0, 2.5, 3.0} {
+		t := base.WithUniformSpeed(s)
+		trace := poisson(cfg.rng(1000), n, classSizes(0.5), 0.95, float64(len(base.RootAdjacent())))
+		res, err := sim.Run(t, trace, core.NewGreedyIdentical(0.5), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		r2 := cfg.rng(1001)
+		traceU := poisson(r2, n, classSizes(0.5), 0.95, float64(len(base.RootAdjacent())))
+		if err := workload.MakeUnrelated(r2, traceU, workload.UnrelatedConfig{Leaves: len(base.Leaves()), Lo: 0.5, Hi: 2}); err != nil {
+			return nil, err
+		}
+		resU, err := sim.Run(t, traceU, core.NewGreedyUnrelated(0.5), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(s, res.AvgFlow(), resU.AvgFlow())
+		xs = append(xs, s)
+		yi = append(yi, res.AvgFlow())
+		yu = append(yu, resU.AvgFlow())
+	}
+	tb.AddNote("the identical curve flattens quickly past (1+eps); the unrelated curve needs roughly twice the speed before flattening — the Theorem 1 vs Theorem 2 gap")
+	out.add(tb)
+	chart := &plot.Chart{
+		Title:  "avg flow vs node speed (log scale)",
+		XLabel: "uniform node speed",
+		YLabel: "avg flow",
+		LogY:   true,
+		Series: []plot.Series{
+			{Name: "identical", X: xs, Y: yi},
+			{Name: "unrelated", X: xs, Y: yu},
+		},
+	}
+	out.addText("B3 curve", chart.Render())
+	return out, nil
+}
+
+// runB4 measures raw engine throughput.
+func runB4(cfg Config) (*Output, error) {
+	out := &Output{}
+	tb := table.New("B4 — engine throughput", "jobs", "tree nodes", "events", "wall ms", "events/sec")
+	for _, sz := range []struct{ n, arity, depth, lpr int }{
+		{cfg.scaled(5000), 2, 2, 2},
+		{cfg.scaled(20000), 2, 3, 2},
+		{cfg.scaled(20000), 3, 3, 3},
+	} {
+		t := tree.FatTree(sz.arity, sz.depth, sz.lpr)
+		trace := poisson(cfg.rng(1100), sz.n, classSizes(0.5), 0.9, float64(len(t.RootAdjacent())))
+		start := time.Now()
+		res, err := sim.Run(t, trace, core.NewGreedyIdentical(0.5), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		tb.AddRow(sz.n, t.NumNodes(), res.Stats.Events, float64(el.Milliseconds()),
+			float64(res.Stats.Events)/el.Seconds())
+	}
+	out.add(tb)
+	return out, nil
+}
+
+// runB5 ablates the two terms of the greedy assignment objective.
+// The topology must make both terms matter *across branches* (within
+// one branch F(j,v) is constant, so a single-branch tree makes the
+// ablation vacuous): branch A offers two cheap depth-2 machines
+// behind one contested link, branch B offers six roomy machines at
+// depth 5. Volume-blind assignment congests branch A; distance-blind
+// assignment overpays branch B's long path.
+func runB5(cfg Config) (*Output, error) {
+	out := &Output{}
+	b := tree.NewBuilder()
+	a0 := b.AddRouter(b.Root())
+	b.AddLeaf(a0)
+	b.AddLeaf(a0)
+	w := b.AddRouter(b.Root())
+	for i := 0; i < 3; i++ {
+		w = b.AddRouter(w)
+	}
+	for i := 0; i < 6; i++ {
+		b.AddLeaf(w)
+	}
+	base := b.MustFinalize()
+	n := cfg.scaled(2000)
+	tb := table.New("B5 — greedy term ablation (shallow contested branch vs deep roomy branch)",
+		"variant", "load 0.7 avg flow", "load 1.0 avg flow")
+	variants := []struct {
+		name       string
+		dropDist   bool
+		dropVolume bool
+		weight     float64
+	}{
+		{"full greedy (weight 6/eps^2 = 24)", false, false, 0},
+		{"distance weight 1 (plain P_{j,v})", false, false, 1},
+		{"no distance term", true, false, 0},
+		{"no volume term (distance only)", false, true, 0},
+	}
+	for _, v := range variants {
+		var vals []float64
+		for _, load := range []float64{0.7, 1.0} {
+			g := core.NewGreedyIdentical(0.5)
+			g.Cfg.DropDistanceTerm = v.dropDist
+			g.Cfg.DropVolumeTerm = v.dropVolume
+			g.Cfg.DistanceWeight = v.weight
+			trace := poisson(cfg.rng(1200+uint64(load*10)), n, classSizes(0.5), load, float64(len(base.RootAdjacent())))
+			res, err := sim.Run(base, trace, g, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.AvgFlow())
+		}
+		tb.AddRow(v.name, vals[0], vals[1])
+	}
+	tb.AddNote("REPRODUCTION FINDING: the volume term is load-bearing (dropping it is catastrophic), but the paper's 6/eps^2 distance coefficient — an artifact of the analysis — overweights proximity in practice: weight 1 (plain path work) beats the full constant, and even dropping the distance term entirely wins at moderate load")
+	out.add(tb)
+	return out, nil
+}
+
+// runB6 quantifies the store-and-forward penalty against the
+// packetized relaxation the paper sketches in Section 2.
+func runB6(cfg Config) (*Output, error) {
+	out := &Output{}
+	n := cfg.scaled(400)
+	tb := table.New("B6 — store-and-forward vs packetized forwarding",
+		"topology", "store-and-forward avg flow", "packetized avg flow", "ratio")
+	for _, tc := range []struct {
+		name string
+		t    *tree.Tree
+	}{
+		{"line(4)", tree.Line(4)},
+		{"fat tree 2x2x2", tree.FatTree(2, 2, 2)},
+	} {
+		trace := poisson(cfg.rng(1300), n, workload.UniformSize{Lo: 2, Hi: 10}, 0.7, float64(len(tc.t.RootAdjacent())))
+		sf, err := sim.Run(tc.t, trace, core.NewGreedyIdentical(0.5), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		pk, err := sim.RunPacketized(tc.t, trace, core.NewGreedyIdentical(0.5), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(tc.name, sf.AvgFlow(), pk.AvgFlow(), sf.AvgFlow()/pk.AvgFlow())
+	}
+	tb.AddNote("packetized pipelining removes the per-hop serialization; the gap grows with path depth, matching the paper's remark that splitting jobs negates interior congestion")
+	out.add(tb)
+	return out, nil
+}
+
+// runB7 asks whether the broomstick simulation costs anything in
+// practice versus running the greedy rule directly on T.
+func runB7(cfg Config) (*Output, error) {
+	out := &Output{}
+	n := cfg.scaled(800)
+	tb := table.New("B7 — shadow-on-broomstick vs direct greedy on T",
+		"setting", "instance", "direct avg flow", "shadow avg flow", "shadow/direct")
+	for _, unrel := range []bool{false, true} {
+		setting := "identical"
+		if unrel {
+			setting = "unrelated"
+		}
+		for k := 0; k < 4; k++ {
+			r := cfg.rng(1400 + uint64(k) + 40*boolU(unrel))
+			base := tree.Random(r, tree.RandomConfig{Branches: 2, MaxDepth: 4, MaxChildren: 2, LeafProb: 0.45})
+			trace := poisson(r, n, classSizes(0.5), 0.85, float64(len(base.RootAdjacent())))
+			var direct, shadow *sim.Result
+			var err error
+			if unrel {
+				if err := workload.MakeUnrelated(r, trace, workload.UnrelatedConfig{Leaves: len(base.Leaves()), Lo: 0.5, Hi: 2}); err != nil {
+					return nil, err
+				}
+				direct, err = sim.Run(base, trace, core.NewGreedyUnrelated(0.5), sim.Options{})
+			} else {
+				direct, err = sim.Run(base, trace, core.NewGreedyIdentical(0.5), sim.Options{})
+			}
+			if err != nil {
+				return nil, err
+			}
+			sh, err := core.NewShadow(base, core.ShadowConfig{Eps: 0.5, Unrelated: unrel})
+			if err != nil {
+				return nil, err
+			}
+			shadow, err = sim.Run(base, trace, sh, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(setting, k, direct.AvgFlow(), shadow.AvgFlow(), shadow.AvgFlow()/direct.AvgFlow())
+		}
+	}
+	tb.AddNote("identical setting: the ratio is exactly 1 — the reduction adds a constant 2 to every leaf depth and leaves F per branch unchanged, so the broomstick argmin coincides with the direct argmin decision-for-decision. Unrelated setting: leaf queues evolve differently on T', so decisions (and flows) can diverge.")
+	out.add(tb)
+	return out, nil
+}
+
+// runB8 compares the two node-queue implementations.
+func runB8(cfg Config) (*Output, error) {
+	out := &Output{}
+	t := tree.FatTree(2, 2, 2)
+	n := cfg.scaled(15000)
+	trace := poisson(cfg.rng(1500), n, classSizes(0.5), 1.05, float64(len(t.RootAdjacent())))
+	tb := table.New("B8 — queue implementation ablation (overloaded, long queues)",
+		"queue", "total flow", "wall ms")
+	var flows []float64
+	for _, scan := range []bool{false, true} {
+		start := time.Now()
+		res, err := sim.Run(t, trace, core.NewGreedyIdentical(0.5), sim.Options{UseScanQueue: scan})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		name := "binary heap"
+		if scan {
+			name = "linear scan"
+		}
+		tb.AddRow(name, res.Stats.TotalFlow, float64(el.Milliseconds()))
+		flows = append(flows, res.Stats.TotalFlow)
+	}
+	tb.AddNote("both implementations must produce identical schedules; the flow columns agree to float precision")
+	if len(flows) == 2 && (flows[0]-flows[1] > 1e-3 || flows[1]-flows[0] > 1e-3) {
+		tb.AddNote("WARNING: queue implementations diverged!")
+	}
+	out.add(tb)
+	return out, nil
+}

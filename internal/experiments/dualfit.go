@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"treesched/internal/core"
+	"treesched/internal/table"
+	"treesched/internal/tree"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "D1",
+		Title: "Dual-fitting certificate: Section 3.5 duals checked in a live run",
+		Paper: "Theorem 5 / Lemmas 5-7",
+		Run:   runD1,
+	})
+}
+
+// runD1 constructs the paper's dual solution (β_j from the greedy
+// minimum, γ from F, α from branch fractional volumes) during live
+// broomstick runs and checks LP-Dual feasibility numerically. A
+// feasible dual certifies, by weak duality, DualObjective/3 ≤ OPT —
+// turning the paper's analysis into a per-instance certificate.
+func runD1(cfg Config) (*Output, error) {
+	out := &Output{}
+	tb := table.New("D1 — dual-fitting certificate on broomsticks (identical endpoints)",
+		"eps", "jobs", "C4 viol", "C5 viol", "C5 max LHS/RHS", "sum beta / frac cost", "dual obj", "certified OPT LB", "alg cost / certified LB")
+	n := cfg.scaled(1200)
+	for _, eps := range []float64{0.1, 0.25, 0.5} {
+		t := tree.BroomstickTree(2, 4, 2)
+		trace := poisson(cfg.rng(1800+uint64(eps*100)), n, classSizes(eps), 0.9, float64(len(t.RootAdjacent())))
+		rep, err := core.RunDualFit(t, trace, eps)
+		if err != nil {
+			return nil, err
+		}
+		certRatio := 0.0
+		if rep.CertifiedOPTLowerBound > 0 {
+			certRatio = rep.FracCost / rep.CertifiedOPTLowerBound
+		}
+		tb.AddRow(eps, n, rep.C4Violations, rep.C5Violations, rep.C5MaxSlackRatio,
+			rep.BetaOverCost, rep.DualObjective, rep.CertifiedOPTLowerBound, certRatio)
+	}
+	tb.AddNote("C4/C5 are LP-Dual constraints (4)/(5) after the 10/eps^2 scaling (Lemmas 5-6); zero violations means the dual is feasible and dual/3 is a certified per-instance lower bound on OPT. Lemma 4 predicts sum-beta/cost >= 1+eps. The certified ratio grows like the analysis constants (Theorem 5's O(1/eps^3)), illustrating how loose the worst-case machinery is on benign instances.")
+	out.add(tb)
+	return out, nil
+}

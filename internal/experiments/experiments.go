@@ -1,0 +1,105 @@
+// Package experiments implements the reproduction suite indexed in
+// DESIGN.md §4: one registered experiment per figure, theorem, lemma
+// and baseline study. The paper (Im & Moseley, SPAA 2015) is a theory
+// paper with no empirical section, so each experiment empirically
+// validates the *shape* of one claim — bounded ratios, who wins,
+// where constants bite — rather than matching testbed numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"treesched/internal/rng"
+	"treesched/internal/table"
+	"treesched/internal/workload"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives all randomness; the same seed reproduces the run.
+	Seed uint64
+	// Scale multiplies job counts (1 = the EXPERIMENTS.md defaults;
+	// benchmarks use smaller scales).
+	Scale float64
+}
+
+func (c Config) scaled(n int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n) * s)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+func (c Config) rng(salt uint64) *rng.Rand {
+	return rng.New(c.Seed*0x9e3779b97f4a7c15 + salt + 1)
+}
+
+// TextBlock is a non-tabular artifact (tree renderings etc.).
+type TextBlock struct {
+	Title string
+	Body  string
+}
+
+// Output is everything an experiment produced.
+type Output struct {
+	Tables []*table.Table
+	Texts  []TextBlock
+}
+
+func (o *Output) add(t *table.Table)         { o.Tables = append(o.Tables, t) }
+func (o *Output) addText(title, body string) { o.Texts = append(o.Texts, TextBlock{title, body}) }
+
+// Experiment is one entry of the reproduction index.
+type Experiment struct {
+	// ID matches DESIGN.md §4 (F1, T1, L2, B5, ...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper names the paper artifact being validated.
+	Paper string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Output, error)
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in ID order.
+func All() []*Experiment {
+	out := append([]*Experiment(nil), registry...)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (*Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// classSizes is the standard class-rounded size distribution used
+// across experiments.
+func classSizes(eps float64) workload.SizeDist {
+	return workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 16}, Eps: eps}
+}
+
+// poisson builds a Poisson trace or panics (generation can only fail
+// on bad config, which is a programming error here).
+func poisson(r *rng.Rand, n int, size workload.SizeDist, load, capacity float64) *workload.Trace {
+	tr, err := workload.Poisson(r, workload.GenConfig{N: n, Size: size, Load: load, Capacity: capacity})
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

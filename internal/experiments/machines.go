@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"treesched/internal/core"
+	"treesched/internal/sched"
+	"treesched/internal/sim"
+	"treesched/internal/table"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "M1",
+		Title: "Machine model spectrum: identical vs related vs unrelated endpoints",
+		Paper: "Introduction (machine models)",
+		Run:   runM1,
+	})
+}
+
+// runM1 walks the machine-model ladder the paper's introduction
+// climbs: identical machines, related machines (fixed speeds), and
+// fully unrelated machines — and asks how much each assignment rule's
+// machine-awareness matters at each level.
+func runM1(cfg Config) (*Output, error) {
+	out := &Output{}
+	base := tree.FatTree(2, 1, 4) // 2 racks x 4 machines
+	n := cfg.scaled(2000)
+	cap := float64(len(base.RootAdjacent()))
+
+	// Related machines: a mix of fast and slow boxes per rack.
+	speeds := make([]float64, len(base.Leaves()))
+	for i := range speeds {
+		switch i % 4 {
+		case 0:
+			speeds[i] = 4
+		case 1:
+			speeds[i] = 2
+		default:
+			speeds[i] = 1
+		}
+	}
+
+	mkTrace := func(model string, salt uint64) (*workload.Trace, error) {
+		r := cfg.rng(2500 + salt)
+		tr, err := workload.Poisson(r, workload.GenConfig{N: n, Size: classSizes(0.5), Load: 0.85, Capacity: cap})
+		if err != nil {
+			return nil, err
+		}
+		switch model {
+		case "identical":
+		case "related":
+			if err := workload.MakeRelated(tr, speeds); err != nil {
+				return nil, err
+			}
+		case "unrelated":
+			if err := workload.MakeUnrelated(r, tr, workload.UnrelatedConfig{
+				Leaves: len(base.Leaves()), Lo: 0.25, Hi: 4, PInfeasible: 0.25, Penalty: 8,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return tr, nil
+	}
+
+	tb := table.New("M1 — avg flow by machine model and assignment rule (load 0.85)",
+		"model", "greedy identical", "greedy unrelated", "least volume", "round robin")
+	for mi, model := range []string{"identical", "related", "unrelated"} {
+		row := []interface{}{model}
+		for _, asg := range []sim.Assigner{
+			core.NewGreedyIdentical(0.5),
+			core.NewGreedyUnrelated(0.5),
+			sched.LeastVolume{},
+			&sched.RoundRobin{},
+		} {
+			tr, err := mkTrace(model, uint64(mi))
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(base, tr, asg, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.AvgFlow())
+		}
+		tb.AddRow(row...)
+	}
+	tb.AddNote("on identical machines all sensible rules tie; as machines become related and then unrelated, the leaf-aware rule (greedy unrelated, Theorem 2's algorithm) pulls ahead of leaf-blind assignment — the ladder of generality the introduction motivates")
+	out.add(tb)
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunResult pairs an experiment with its output (or error).
+type RunResult struct {
+	Exp    *Experiment
+	Output *Output
+	Err    error
+}
+
+// RunAll executes the given experiments concurrently on a bounded
+// worker pool and returns results in the input order. Experiments are
+// deterministic given Config, so concurrency does not affect any
+// reported number — only wall-clock time. parallelism <= 0 uses
+// GOMAXPROCS.
+func RunAll(exps []*Experiment, cfg Config, parallelism int) []RunResult {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(exps) {
+		parallelism = len(exps)
+	}
+	results := make([]RunResult, len(exps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e := exps[i]
+				out, err := runSafe(e, cfg)
+				results[i] = RunResult{Exp: e, Output: out, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runSafe converts experiment panics into errors so one failing
+// experiment cannot take down a whole suite run.
+func runSafe(e *Experiment, cfg Config) (out *Output, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("experiment %s panicked: %v", e.ID, r)
+		}
+	}()
+	return e.Run(cfg)
+}

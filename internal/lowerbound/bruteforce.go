@@ -1,0 +1,59 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// fixedAssignment replays a precomputed job->leaf map.
+type fixedAssignment struct {
+	leaves []tree.NodeID
+}
+
+func (f *fixedAssignment) Name() string { return "fixed" }
+func (f *fixedAssignment) Assign(_ *sim.Query, a *sim.Arrival) tree.NodeID {
+	return f.leaves[a.ID]
+}
+
+// BestAssignmentUpperBound exhaustively enumerates every leaf
+// assignment of the instance (|L|^n combinations) and, for each, runs
+// the preemptive node policies SJF, SRPT and FIFO, returning the best
+// total flow found. The result is an UPPER bound on OPT (it is an
+// achievable schedule) that is usually very tight on tiny instances,
+// giving a bracket [lower bound, upper bound] around the true optimum.
+// It errors out when the search space exceeds maxCombos.
+func BestAssignmentUpperBound(t *tree.Tree, trace *workload.Trace, maxCombos int) (float64, error) {
+	nL := len(t.Leaves())
+	n := len(trace.Jobs)
+	combos := 1
+	for i := 0; i < n; i++ {
+		combos *= nL
+		if combos > maxCombos {
+			return 0, fmt.Errorf("lowerbound: %d^%d assignments exceed the cap %d", nL, n, maxCombos)
+		}
+	}
+	best := math.Inf(1)
+	asg := &fixedAssignment{leaves: make([]tree.NodeID, n)}
+	policies := []sim.Policy{sim.SJF{}, sim.SRPT{}, sim.FIFO{}}
+	for c := 0; c < combos; c++ {
+		x := c
+		for j := 0; j < n; j++ {
+			asg.leaves[j] = t.Leaves()[x%nL]
+			x /= nL
+		}
+		for _, pol := range policies {
+			res, err := sim.Run(t, trace, asg, sim.Options{Policy: pol})
+			if err != nil {
+				return 0, err
+			}
+			if res.Stats.TotalFlow < best {
+				best = res.Stats.TotalFlow
+			}
+		}
+	}
+	return best, nil
+}

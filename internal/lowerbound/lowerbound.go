@@ -1,0 +1,156 @@
+// Package lowerbound computes valid lower bounds on the optimal total
+// flow time of a tree-network scheduling instance, against a speed-1
+// adversary. The competitive-ratio experiments divide the algorithm's
+// achieved flow by the best of these bounds, so the reported ratios
+// are upper bounds on the true competitive ratio — the right direction
+// for validating the paper's O(·)-competitiveness claims.
+//
+// Bounds implemented:
+//
+//   - PathWork: Σ_j min_v P_{j,v}. Even alone in the system, a job's
+//     flow time is its full path processing time on the best leaf.
+//   - AggregatedRootSRPT: every job must be fully processed on some
+//     root-adjacent node. Relaxing the k root-adjacent nodes to a
+//     single machine of speed k (a speed-k machine can time-share to
+//     simulate any k-machine schedule) and scheduling with SRPT —
+//     which is optimal for single-machine total flow time — bounds
+//     Σ_j (C_j^{root} − r_j) from below.
+//   - Combined: flow_j ≥ (C_j^{root} − r_j) + (remaining path work
+//     below the root-adjacent node), and the two terms are sequential
+//     for each job, so their optimal sums add.
+package lowerbound
+
+import (
+	"container/heap"
+	"sort"
+
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// SRPTJob is a release/size pair for the single-machine relaxation.
+type SRPTJob struct {
+	Release, Size float64
+}
+
+// srptHeap orders jobs by remaining processing time.
+type srptHeap []*srptItem
+
+type srptItem struct {
+	remaining float64
+	release   float64
+}
+
+func (h srptHeap) Len() int            { return len(h) }
+func (h srptHeap) Less(i, j int) bool  { return h[i].remaining < h[j].remaining }
+func (h srptHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *srptHeap) Push(x interface{}) { *h = append(*h, x.(*srptItem)) }
+func (h *srptHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	it := old[n]
+	*h = old[:n]
+	return it
+}
+
+// SRPTSingleMachine returns the total flow time of the (optimal)
+// preemptive SRPT schedule of the jobs on one machine of the given
+// speed. Jobs must be sorted by release time.
+func SRPTSingleMachine(jobs []SRPTJob, speed float64) float64 {
+	if speed <= 0 {
+		panic("lowerbound: non-positive machine speed")
+	}
+	h := &srptHeap{}
+	now := 0.0
+	total := 0.0
+	i := 0
+	for i < len(jobs) || h.Len() > 0 {
+		if h.Len() == 0 {
+			// Idle until the next arrival.
+			if jobs[i].Release > now {
+				now = jobs[i].Release
+			}
+		}
+		// Admit everything released by now.
+		for i < len(jobs) && jobs[i].Release <= now {
+			heap.Push(h, &srptItem{remaining: jobs[i].Size, release: jobs[i].Release})
+			i++
+		}
+		cur := (*h)[0]
+		finish := now + cur.remaining/speed
+		if i < len(jobs) && jobs[i].Release < finish {
+			// Process until the next arrival, then re-evaluate.
+			cur.remaining -= (jobs[i].Release - now) * speed
+			now = jobs[i].Release
+			heap.Fix(h, 0)
+			continue
+		}
+		now = finish
+		total += now - cur.release
+		heap.Pop(h)
+	}
+	return total
+}
+
+// PathWork returns Σ_j min_v P_{j,v}: total path processing on the
+// best leaf for each job, at adversary speed 1.
+func PathWork(t *tree.Tree, trace *workload.Trace) float64 {
+	var sum float64
+	for i := range trace.Jobs {
+		sum += bestPathWork(t, &trace.Jobs[i], false)
+	}
+	return sum
+}
+
+// bestPathWork returns min_v over eligible leaves of the job's path
+// work; belowRoot restricts to the portion after the root-adjacent
+// node.
+func bestPathWork(t *tree.Tree, j *workload.Job, belowRoot bool) float64 {
+	best := -1.0
+	for _, v := range t.Leaves() {
+		d := t.Depth(v) // nodes on path including R(v) and the leaf
+		routers := float64(d - 1)
+		if belowRoot {
+			routers-- // exclude the root-adjacent node's work
+		}
+		w := routers*j.Size + j.LeafSize(t.LeafIndex(v))
+		if best < 0 || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// AggregatedRootSRPT lower-bounds Σ_j (C_j^{root-adjacent} − r_j): the
+// k root-adjacent nodes are relaxed to one speed-k machine scheduled
+// by SRPT.
+func AggregatedRootSRPT(t *tree.Tree, trace *workload.Trace) float64 {
+	jobs := make([]SRPTJob, len(trace.Jobs))
+	for i := range trace.Jobs {
+		jobs[i] = SRPTJob{Release: trace.Jobs[i].Release, Size: trace.Jobs[i].Size}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Release < jobs[b].Release })
+	return SRPTSingleMachine(jobs, float64(len(t.RootAdjacent())))
+}
+
+// Combined returns AggregatedRootSRPT plus the per-job minimum
+// remaining path work below the root-adjacent node: for every job the
+// root-node completion and the remaining descent are sequential, so
+// the bound sums.
+func Combined(t *tree.Tree, trace *workload.Trace) float64 {
+	lb := AggregatedRootSRPT(t, trace)
+	for i := range trace.Jobs {
+		lb += bestPathWork(t, &trace.Jobs[i], true)
+	}
+	return lb
+}
+
+// Best returns the strongest available combinatorial bound.
+func Best(t *tree.Tree, trace *workload.Trace) float64 {
+	pw := PathWork(t, trace)
+	cb := Combined(t, trace)
+	if pw > cb {
+		return pw
+	}
+	return cb
+}

@@ -1,0 +1,176 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// Instance is a built time-indexed LP for a scheduling instance,
+// with the variable indexing retained so solutions can be inspected.
+type Instance struct {
+	Problem *Problem
+	Tree    *tree.Tree
+	Trace   *workload.Trace
+	// Horizon is the number of unit time slots.
+	Horizon int
+	// nodes lists the processing nodes (everything but the root) in
+	// variable-index order.
+	nodes []tree.NodeID
+	// nodePos maps node ID -> position in nodes.
+	nodePos map[tree.NodeID]int
+}
+
+// VarIndex returns the LP variable index of x_{v,j,t}.
+func (in *Instance) VarIndex(v tree.NodeID, j, t int) int {
+	np, ok := in.nodePos[v]
+	if !ok {
+		panic(fmt.Sprintf("lp: node %d has no variables (root?)", v))
+	}
+	return (np*len(in.Trace.Jobs)+j)*in.Horizon + t
+}
+
+// Build constructs the paper's LP-Primal (Section 2) with unit time
+// slots over the given horizon:
+//
+//	min  Σ_j ( Σ_{v∈L∪R} Σ_t x_{v,j,t}·(t−r_j)/p_{j,v}
+//	          + Σ_{v∈L} Σ_t x_{v,j,t}·η_{j,v}/p_{j,v} )
+//	s.t. (1) Σ_j x_{v,j,t} ≤ 1                         ∀v, t
+//	     (2) Σ_{v∈L} Σ_{t≥r_j} x_{v,j,t}/p_{j,v} ≥ 1    ∀j
+//	     (3) Σ_{t'≤t} x_{v,j,t'}/p_{j,v} ≥
+//	         Σ_{t'≤t} Σ_{v'∈c(v)} x_{v',j,t'}/p_{j,v'}  ∀ non-leaf v, j, t
+//	     x ≥ 0, x_{v,j,t} = 0 for t < r_j
+//
+// η_{j,v} is the total processing the job needs from the root down to
+// v. Variables with t < ceil(r_j) are simply not generated (fixed 0).
+// The horizon must be large enough for a feasible schedule; Build
+// picks one automatically if horizon <= 0 (sum of all path-maximal
+// work plus the last release, a crude but safe bound).
+//
+// The LP's optimum is a lower bound on 3× the optimal total flow time
+// (each of the three objective components is individually a lower
+// bound on OPT; see OPTLowerBound).
+func Build(t *tree.Tree, trace *workload.Trace, horizon int) (*Instance, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 {
+		var total float64
+		for i := range trace.Jobs {
+			j := &trace.Jobs[i]
+			worst := 0.0
+			for _, v := range t.Leaves() {
+				w := float64(t.Depth(v)-1)*j.Size + j.LeafSize(t.LeafIndex(v))
+				if w > worst {
+					worst = w
+				}
+			}
+			total += worst
+		}
+		horizon = int(math.Ceil(trace.Span() + total))
+	}
+	in := &Instance{Tree: t, Trace: trace, Horizon: horizon, nodePos: make(map[tree.NodeID]int)}
+	for id := tree.NodeID(1); int(id) < t.NumNodes(); id++ {
+		in.nodePos[id] = len(in.nodes)
+		in.nodes = append(in.nodes, id)
+	}
+	n := len(in.nodes) * len(trace.Jobs) * horizon
+	p := NewProblem(n)
+	in.Problem = p
+
+	// sizeOn(v, j): processing requirement of job j on node v.
+	sizeOn := func(v tree.NodeID, j *workload.Job) float64 {
+		if t.IsLeaf(v) {
+			return j.LeafSize(t.LeafIndex(v))
+		}
+		return j.Size
+	}
+	isRootAdj := func(v tree.NodeID) bool { return t.Depth(v) == 1 }
+	release := func(j *workload.Job) int { return int(math.Ceil(j.Release)) }
+
+	// Objective.
+	for ji := range trace.Jobs {
+		j := &trace.Jobs[ji]
+		for _, v := range in.nodes {
+			if !t.IsLeaf(v) && !isRootAdj(v) {
+				continue
+			}
+			pjv := sizeOn(v, j)
+			var eta float64
+			if t.IsLeaf(v) {
+				eta = float64(t.Depth(v)-1)*j.Size + pjv
+			}
+			for tt := release(j); tt < horizon; tt++ {
+				idx := in.VarIndex(v, ji, tt)
+				p.C[idx] += (float64(tt) - j.Release) / pjv
+				if t.IsLeaf(v) {
+					p.C[idx] += eta / pjv
+				}
+			}
+		}
+	}
+
+	// (1) Node capacity per slot: a node processes at most speed_v
+	// units of work per unit slot (1 for the speed-1 adversary; the
+	// Theorem 4 experiment builds LPs on augmented trees).
+	for _, v := range in.nodes {
+		for tt := 0; tt < horizon; tt++ {
+			coefs := make(map[int]float64)
+			for ji := range trace.Jobs {
+				if tt >= release(&trace.Jobs[ji]) {
+					coefs[in.VarIndex(v, ji, tt)] = 1
+				}
+			}
+			if len(coefs) > 0 {
+				p.AddConstraint(coefs, LE, t.Speed(v))
+			}
+		}
+	}
+
+	// (2) Full processing on leaves.
+	for ji := range trace.Jobs {
+		j := &trace.Jobs[ji]
+		coefs := make(map[int]float64)
+		for _, v := range t.Leaves() {
+			pjv := sizeOn(v, j)
+			for tt := release(j); tt < horizon; tt++ {
+				coefs[in.VarIndex(v, ji, tt)] = 1 / pjv
+			}
+		}
+		p.AddConstraint(coefs, GE, 1)
+	}
+
+	// (3) Precedence down the tree (prefix fractions).
+	for _, v := range in.nodes {
+		if t.IsLeaf(v) {
+			continue
+		}
+		pv := 0.0
+		for ji := range trace.Jobs {
+			j := &trace.Jobs[ji]
+			pv = sizeOn(v, j)
+			for tt := release(j); tt < horizon; tt++ {
+				coefs := make(map[int]float64)
+				for tp := release(j); tp <= tt; tp++ {
+					coefs[in.VarIndex(v, ji, tp)] += 1 / pv
+					for _, c := range t.Children(v) {
+						coefs[in.VarIndex(c, ji, tp)] -= 1 / sizeOn(c, j)
+					}
+				}
+				p.AddConstraint(coefs, GE, 0)
+			}
+		}
+	}
+	return in, nil
+}
+
+// Solve solves the built instance.
+func (in *Instance) Solve() (*Solution, error) { return in.Problem.Solve() }
+
+// OPTLowerBound converts the LP optimum into a valid lower bound on
+// the optimal total flow time: the objective is the sum of three
+// terms (leaf fractional age, root-adjacent fractional age, and total
+// path work), each individually a lower bound on OPT, so OPT ≥ LP*/3.
+func OPTLowerBound(lpOpt float64) float64 { return lpOpt / 3 }

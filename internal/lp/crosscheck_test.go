@@ -1,0 +1,75 @@
+package lp
+
+import (
+	"testing"
+
+	"treesched/internal/core"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// Weak duality, machine-checked across two independent components:
+// the dual solution constructed by core.RunDualFit (the paper's
+// Section 3.5 assignment) must have objective value at most the LP
+// optimum computed by the simplex on the same instance.
+func TestDualFitBelowLPOptimum(t *testing.T) {
+	tr := tree.BroomstickTree(1, 2, 2)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 1},
+		{ID: 1, Release: 0.5, Size: 2},
+		{ID: 2, Release: 1, Size: 1},
+		{ID: 3, Release: 3, Size: 4},
+	}}
+	for _, eps := range []float64{0.25, 0.5, 1.0} {
+		rep, err := core.RunDualFit(tr, trace, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.C4Violations != 0 || rep.C5Violations != 0 {
+			t.Fatalf("eps=%v: dual infeasible (C4=%d C5=%d)", eps, rep.C4Violations, rep.C5Violations)
+		}
+		in, err := Build(tr, trace, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := in.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DualObjective > sol.Objective+1e-6 {
+			t.Fatalf("eps=%v: dual objective %v exceeds LP* %v — weak duality violated",
+				eps, rep.DualObjective, sol.Objective)
+		}
+		t.Logf("eps=%v: dual %.4f <= LP* %.4f (gap %.1f%%)",
+			eps, rep.DualObjective, sol.Objective, 100*(1-rep.DualObjective/sol.Objective))
+	}
+}
+
+// The three lower bounds must be mutually consistent on a batch of
+// small random-ish instances: every bound below the portfolio cost,
+// dual below LP*.
+func TestBoundHierarchy(t *testing.T) {
+	instances := []*workload.Trace{
+		{Jobs: []workload.Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 1, Size: 1}}},
+		{Jobs: []workload.Job{{ID: 0, Release: 0, Size: 3}, {ID: 1, Release: 0.25, Size: 1}, {ID: 2, Release: 2, Size: 2}}},
+		{Jobs: []workload.Job{{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 0.1, Size: 1}, {ID: 2, Release: 0.2, Size: 1}, {ID: 3, Release: 0.3, Size: 1}}},
+	}
+	tr := tree.BroomstickTree(1, 2, 1)
+	for i, trace := range instances {
+		rep, err := core.RunDualFit(tr, trace, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := Build(tr, trace, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := in.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DualObjective > sol.Objective+1e-6 {
+			t.Fatalf("instance %d: dual %v > LP* %v", i, rep.DualObjective, sol.Objective)
+		}
+	}
+}

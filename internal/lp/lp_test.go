@@ -1,0 +1,270 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"treesched/internal/lowerbound"
+	"treesched/internal/sched"
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+// min -x-y st x+2y<=4, 3x+y<=6 -> opt at (1.6,1.2), obj -2.8.
+func TestSimplexBasicLE(t *testing.T) {
+	p := NewProblem(2)
+	p.C[0], p.C[1] = -1, -1
+	p.AddConstraint(map[int]float64{0: 1, 1: 2}, LE, 4)
+	p.AddConstraint(map[int]float64{0: 3, 1: 1}, LE, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, -2.8, 1e-7, "objective")
+	approx(t, sol.X[0], 1.6, 1e-7, "x")
+	approx(t, sol.X[1], 1.2, 1e-7, "y")
+}
+
+// min x+y st x+y>=3, x<=1 -> obj 3 with x<=1.
+func TestSimplexGE(t *testing.T) {
+	p := NewProblem(2)
+	p.C[0], p.C[1] = 1, 1
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, 3)
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 3, 1e-7, "objective")
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min 2x+3y st x+y=4, x-y=0 -> x=y=2, obj 10.
+	p := NewProblem(2)
+	p.C[0], p.C[1] = 2, 3
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, EQ, 4)
+	p.AddConstraint(map[int]float64{0: 1, 1: -1}, EQ, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 10, 1e-7, "objective")
+	approx(t, sol.X[0], 2, 1e-7, "x")
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// min x st -x <= -5  (i.e. x >= 5).
+	p := NewProblem(1)
+	p.C[0] = 1
+	p.AddConstraint(map[int]float64{0: -1}, LE, -5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.X[0], 5, 1e-7, "x")
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.C[0] = 1
+	p.AddConstraint(map[int]float64{0: 1}, LE, 1)
+	p.AddConstraint(map[int]float64{0: 1}, GE, 2)
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.C[0] = -1
+	p.AddConstraint(map[int]float64{0: -1}, LE, 0)
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Classic degenerate vertex; Bland fallback must terminate.
+	p := NewProblem(3)
+	p.C = []float64{-0.75, 150, -0.02}
+	p.AddConstraint(map[int]float64{0: 0.25, 1: -60, 2: -0.04}, LE, 0)
+	p.AddConstraint(map[int]float64{0: 0.5, 1: -90, 2: -0.02}, LE, 0)
+	p.AddConstraint(map[int]float64{2: 1}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective > -0.04 {
+		t.Fatalf("objective = %v, want improvement below 0", sol.Objective)
+	}
+}
+
+func TestSimplexBadVarIndex(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint(map[int]float64{5: 1}, LE, 1)
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("accepted out-of-range variable")
+	}
+}
+
+// A single unit job on a star: LP should schedule it as early as
+// possible. Verify the LP optimum against the hand-computed value.
+func TestBuildSingleJob(t *testing.T) {
+	tr := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{{ID: 0, Release: 0, Size: 1}}}
+	in, err := Build(tr, trace, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := in.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slotted relaxation's prefix constraint (3) is inclusive, so
+	// the leaf may run in the same slot as the relay: both ages are 0
+	// and only the η term (2/1) remains. LP* = 2 — strictly below the
+	// integral schedule's objective of 3, as a relaxation should be.
+	approx(t, sol.Objective, 2, 1e-6, "LP optimum")
+}
+
+// The LP lower bound must hold against every simulated schedule, and
+// should be consistent with the combinatorial bounds.
+func TestLPBoundVsSchedules(t *testing.T) {
+	tr := tree.Star(2)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 1, Size: 1},
+		{ID: 2, Release: 2, Size: 2},
+	}}
+	in, err := Build(tr, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := in.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := OPTLowerBound(sol.Objective)
+	if lb <= 0 {
+		t.Fatal("vacuous LP bound")
+	}
+	res, err := sim.Run(tr, trace, sched.LeastVolume{}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalFlow < lb-1e-6 {
+		t.Fatalf("schedule flow %v below LP bound %v", res.Stats.TotalFlow, lb)
+	}
+	comb := lowerbound.Best(tr, trace)
+	if res.Stats.TotalFlow < comb-1e-6 {
+		t.Fatalf("schedule flow %v below combinatorial bound %v", res.Stats.TotalFlow, comb)
+	}
+	t.Logf("LP/3 bound %.3f, combinatorial %.3f, achieved %.3f", lb, comb, res.Stats.TotalFlow)
+}
+
+// LP relaxation value never exceeds 3x any feasible schedule cost, and
+// the x variables satisfy the capacity constraints.
+func TestLPSolutionFeasibility(t *testing.T) {
+	tr := tree.BroomstickTree(1, 2, 2)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 1},
+		{ID: 1, Release: 0.5, Size: 2},
+	}}
+	in, err := Build(tr, trace, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := in.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity per node-slot.
+	for id := tree.NodeID(1); int(id) < tr.NumNodes(); id++ {
+		for tt := 0; tt < in.Horizon; tt++ {
+			var used float64
+			for ji := range trace.Jobs {
+				if tt >= int(math.Ceil(trace.Jobs[ji].Release)) {
+					used += sol.X[in.VarIndex(id, ji, tt)]
+				}
+			}
+			if used > 1+1e-6 {
+				t.Fatalf("node %d slot %d over capacity: %v", id, tt, used)
+			}
+		}
+	}
+	// Completion constraint.
+	for ji := range trace.Jobs {
+		j := &trace.Jobs[ji]
+		var frac float64
+		for _, v := range tr.Leaves() {
+			for tt := int(math.Ceil(j.Release)); tt < in.Horizon; tt++ {
+				frac += sol.X[in.VarIndex(v, ji, tt)] / j.LeafSize(tr.LeafIndex(v))
+			}
+		}
+		if frac < 1-1e-6 {
+			t.Fatalf("job %d only %v processed on leaves", ji, frac)
+		}
+	}
+}
+
+func TestBuildAutoHorizon(t *testing.T) {
+	tr := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{{ID: 0, Release: 0, Size: 2}}}
+	in, err := Build(tr, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Horizon < 4 {
+		t.Fatalf("auto horizon %d too small", in.Horizon)
+	}
+	if _, err := in.Solve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsInvalidTrace(t *testing.T) {
+	tr := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{{ID: 3, Release: 0, Size: 1}}}
+	if _, err := Build(tr, trace, 5); err == nil {
+		t.Fatal("accepted invalid trace")
+	}
+}
+
+// Node speeds act as per-slot capacities: augmenting every node can
+// only lower the LP optimum, and a uniformly faster tree strictly
+// helps a congested instance.
+func TestBuildRespectsSpeeds(t *testing.T) {
+	base := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0, Size: 2},
+	}}
+	slow, err := Build(base, trace, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSlow, err := slow.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Build(base.WithUniformSpeed(2), trace, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFast, err := fast.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sFast.Objective >= sSlow.Objective {
+		t.Fatalf("doubling speeds did not lower LP*: %v -> %v", sSlow.Objective, sFast.Objective)
+	}
+}

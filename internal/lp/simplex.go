@@ -1,0 +1,326 @@
+// Package lp provides a dense two-phase primal simplex solver (pure
+// Go, stdlib only) and a builder for the paper's time-indexed linear
+// programming relaxation (LP-Primal, Section 2). Solving the LP on
+// small instances yields a true lower bound on the optimal fractional
+// flow time, against which the experiments report competitive ratios.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ConstraintKind distinguishes ≤, ≥ and = rows.
+type ConstraintKind uint8
+
+const (
+	// LE is a ≤ constraint.
+	LE ConstraintKind = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an equality constraint.
+	EQ
+)
+
+// Constraint is one row: Coefs·x (kind) RHS. Coefs is sparse: index →
+// coefficient.
+type Constraint struct {
+	Coefs map[int]float64
+	Kind  ConstraintKind
+	RHS   float64
+}
+
+// Problem is min C·x subject to the constraints, x ≥ 0.
+type Problem struct {
+	NumVars     int
+	C           []float64
+	Constraints []Constraint
+}
+
+// NewProblem allocates a minimization problem with n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, C: make([]float64, n)}
+}
+
+// AddConstraint appends a row. The coefficient map is retained.
+func (p *Problem) AddConstraint(coefs map[int]float64, kind ConstraintKind, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coefs: coefs, Kind: kind, RHS: rhs})
+}
+
+// Solution is an optimal basic feasible solution.
+type Solution struct {
+	X         []float64
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// ErrInfeasible is returned when no feasible point exists.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+const lpEps = 1e-9
+
+// Solve runs two-phase primal simplex on the problem.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.solve(2_000_000)
+}
+
+// solve with an iteration cap (a safety net; Bland's rule prevents
+// cycling so the cap only trips on pathological sizes).
+func (p *Problem) solve(maxIters int) (*Solution, error) {
+	m := len(p.Constraints)
+	// Standard form: every row becomes an equality with slack (LE),
+	// surplus (GE) or nothing (EQ); artificials are added where the
+	// slack cannot seed the basis (GE and EQ rows). Rows with a
+	// negative RHS are negated first, which flips LE and GE, so count
+	// slack and artificial columns from the *effective* kinds.
+	effKind := make([]ConstraintKind, m)
+	for i, c := range p.Constraints {
+		k := c.Kind
+		if c.RHS < 0 {
+			switch k {
+			case LE:
+				k = GE
+			case GE:
+				k = LE
+			}
+		}
+		effKind[i] = k
+	}
+	nSlack := 0
+	for _, k := range effKind {
+		if k != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, k := range effKind {
+		if k != LE {
+			nArt++
+		}
+	}
+	// Column layout: [vars | slacks | artificials | RHS].
+	n := p.NumVars + nSlack + nArt
+	tab := make([][]float64, m+1) // last row: objective
+	for i := range tab {
+		tab[i] = make([]float64, n+1)
+	}
+	basis := make([]int, m)
+
+	slackAt, artAt := p.NumVars, p.NumVars+nSlack
+	for i, c := range p.Constraints {
+		row := tab[i]
+		for j, v := range c.Coefs {
+			if j < 0 || j >= p.NumVars {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d of %d", i, j, p.NumVars)
+			}
+			row[j] = v
+		}
+		row[n] = c.RHS
+		// Normalize to non-negative RHS; effKind already reflects the flip.
+		if row[n] < 0 {
+			for j := 0; j <= n; j++ {
+				row[j] = -row[j]
+			}
+		}
+		switch effKind[i] {
+		case LE:
+			row[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+	// The original Kind field may have been flipped above without
+	// updating slack/artificial counts; recount to verify layout.
+	if slackAt > p.NumVars+nSlack || artAt > n {
+		return nil, errors.New("lp: internal layout error")
+	}
+
+	iters := 0
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := tab[m]
+		for j := range obj {
+			obj[j] = 0
+		}
+		for j := p.NumVars + nSlack; j < n; j++ {
+			obj[j] = 1
+		}
+		// Price out the artificial basis.
+		for i, b := range basis {
+			if b >= p.NumVars+nSlack {
+				for j := 0; j <= n; j++ {
+					obj[j] -= tab[i][j]
+				}
+			}
+		}
+		it, err := runSimplex(tab, basis, n, maxIters)
+		iters += it
+		if err != nil {
+			return nil, err
+		}
+		if -tab[m][n] > 1e-6 {
+			return nil, ErrInfeasible
+		}
+		// Drive any lingering artificials out of the basis.
+		for i, b := range basis {
+			if b < p.NumVars+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < p.NumVars+nSlack; j++ {
+				if math.Abs(tab[i][j]) > lpEps {
+					pivot(tab, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; leave the artificial at value 0.
+				_ = i
+			}
+		}
+	}
+
+	// Phase 2: the real objective. Artificial columns are frozen by
+	// giving them prohibitive cost... simpler: zero their columns so
+	// they can never re-enter with a negative reduced cost.
+	for i := 0; i <= m; i++ {
+		for j := p.NumVars + nSlack; j < n; j++ {
+			if i < m && basis[i] == j {
+				continue
+			}
+			tab[i][j] = 0
+		}
+	}
+	obj := tab[m]
+	for j := 0; j <= n; j++ {
+		obj[j] = 0
+	}
+	for j := 0; j < p.NumVars; j++ {
+		obj[j] = p.C[j]
+	}
+	// Price out the current basis.
+	for i, b := range basis {
+		if obj[b] != 0 {
+			coef := obj[b]
+			for j := 0; j <= n; j++ {
+				obj[j] -= coef * tab[i][j]
+			}
+		}
+	}
+	it, err := runSimplex(tab, basis, n, maxIters)
+	iters += it
+	if err != nil {
+		return nil, err
+	}
+
+	sol := &Solution{X: make([]float64, p.NumVars), Iterations: iters}
+	for i, b := range basis {
+		if b < p.NumVars {
+			sol.X[b] = tab[i][n]
+		}
+	}
+	for j := 0; j < p.NumVars; j++ {
+		sol.Objective += p.C[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+// runSimplex pivots to optimality using Dantzig's rule with a Bland
+// fallback after stalling, returning the pivot count.
+func runSimplex(tab [][]float64, basis []int, n, maxIters int) (int, error) {
+	m := len(basis)
+	obj := tab[m]
+	iters := 0
+	stalled := 0
+	for {
+		if iters >= maxIters {
+			return iters, errors.New("lp: iteration limit exceeded")
+		}
+		// Entering column.
+		col := -1
+		if stalled < 50 {
+			best := -lpEps
+			for j := 0; j < n; j++ {
+				if obj[j] < best {
+					best, col = obj[j], j
+				}
+			}
+		} else {
+			// Bland's rule: first negative reduced cost.
+			for j := 0; j < n; j++ {
+				if obj[j] < -lpEps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return iters, nil // optimal
+		}
+		// Leaving row by minimum ratio (Bland ties by basis index).
+		row := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][col]
+			if a > lpEps {
+				r := tab[i][n] / a
+				if r < bestRatio-lpEps || (r < bestRatio+lpEps && (row < 0 || basis[i] < basis[row])) {
+					bestRatio, row = r, i
+				}
+			}
+		}
+		if row < 0 {
+			return iters, ErrUnbounded
+		}
+		if bestRatio < lpEps {
+			stalled++
+		} else {
+			stalled = 0
+		}
+		pivot(tab, basis, row, col)
+		iters++
+	}
+}
+
+// pivot makes column col basic in row row.
+func pivot(tab [][]float64, basis []int, row, col int) {
+	n := len(tab[0]) - 1
+	pv := tab[row][col]
+	inv := 1 / pv
+	prow := tab[row]
+	for j := 0; j <= n; j++ {
+		prow[j] *= inv
+	}
+	prow[col] = 1 // exact
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		r := tab[i]
+		for j := 0; j <= n; j++ {
+			r[j] -= f * prow[j]
+		}
+		r[col] = 0 // exact
+	}
+	basis[row] = col
+}

@@ -1,0 +1,214 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"treesched/internal/rng"
+)
+
+// solve2x2 solves [a b; c d]·x = [e f] by Cramer's rule; ok=false for
+// singular systems.
+func solve2x2(a, b, c, d, e, f float64) (x, y float64, ok bool) {
+	det := a*d - b*c
+	if math.Abs(det) < 1e-9 {
+		return 0, 0, false
+	}
+	return (e*d - b*f) / det, (a*f - e*c) / det, true
+}
+
+// bruteForce2D minimizes c·x over {x >= 0, A x <= b} by enumerating
+// all candidate vertices (intersections of constraint pairs, where the
+// axes count as constraints). The region must be bounded.
+func bruteForce2D(c [2]float64, A [][2]float64, b []float64) (float64, bool) {
+	// Build the full constraint list including x >= 0 as -x <= 0.
+	rows := append([][2]float64{}, A...)
+	rhs := append([]float64{}, b...)
+	rows = append(rows, [2]float64{-1, 0}, [2]float64{0, -1})
+	rhs = append(rhs, 0, 0)
+
+	feasible := func(x, y float64) bool {
+		if x < -1e-7 || y < -1e-7 {
+			return false
+		}
+		for i, r := range rows {
+			if r[0]*x+r[1]*y > rhs[i]+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(1)
+	found := false
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			x, y, ok := solve2x2(rows[i][0], rows[i][1], rows[j][0], rows[j][1], rhs[i], rhs[j])
+			if !ok || !feasible(x, y) {
+				continue
+			}
+			v := c[0]*x + c[1]*y
+			if v < best {
+				best = v
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// The simplex must agree with exhaustive vertex enumeration on random
+// bounded 2-variable LPs.
+func TestSimplexMatchesVertexEnumeration(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		nCons := 1 + r.Intn(4)
+		var A [][2]float64
+		var b []float64
+		for i := 0; i < nCons; i++ {
+			A = append(A, [2]float64{r.Range(-2, 3), r.Range(-2, 3)})
+			b = append(b, r.Range(0.5, 6)) // nonnegative RHS keeps origin feasible
+		}
+		// Bounding box guarantees a finite optimum.
+		A = append(A, [2]float64{1, 1})
+		b = append(b, 10)
+		c := [2]float64{r.Range(-3, 3), r.Range(-3, 3)}
+
+		want, ok := bruteForce2D(c, A, b)
+		if !ok {
+			return true // no vertex (cannot happen with the box, but be safe)
+		}
+		p := NewProblem(2)
+		p.C = []float64{c[0], c[1]}
+		for i := range A {
+			p.AddConstraint(map[int]float64{0: A[i][0], 1: A[i][1]}, LE, b[i])
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		return math.Abs(sol.Objective-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// GE/EQ variants must also agree: convert constraints randomly and
+// compare against the equivalent LE formulation.
+func TestSimplexKindEquivalence(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		// min x+2y st x+y >= k (as GE) vs -x-y <= -k (as LE).
+		k := r.Range(1, 5)
+		cap := k + r.Range(0.5, 3)
+
+		ge := NewProblem(2)
+		ge.C = []float64{1, 2}
+		ge.AddConstraint(map[int]float64{0: 1, 1: 1}, GE, k)
+		ge.AddConstraint(map[int]float64{0: 1}, LE, cap)
+		sGE, err := ge.Solve()
+		if err != nil {
+			return false
+		}
+
+		le := NewProblem(2)
+		le.C = []float64{1, 2}
+		le.AddConstraint(map[int]float64{0: -1, 1: -1}, LE, -k)
+		le.AddConstraint(map[int]float64{0: 1}, LE, cap)
+		sLE, err := le.Solve()
+		if err != nil {
+			return false
+		}
+		// Optimum puts everything on x (cheaper) up to cap: k <= cap
+		// so x = k, obj = k.
+		return math.Abs(sGE.Objective-sLE.Objective) < 1e-7 &&
+			math.Abs(sGE.Objective-k) < 1e-7
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Solutions returned by the simplex must satisfy every constraint.
+func TestSimplexSolutionFeasibility(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(3)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.C[j] = r.Range(-2, 2)
+		}
+		var cons []struct {
+			coefs map[int]float64
+			kind  ConstraintKind
+			rhs   float64
+		}
+		for i := 0; i < 2+r.Intn(3); i++ {
+			coefs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				coefs[j] = r.Range(0.1, 2) // positive rows keep things bounded/feasible
+			}
+			kind := LE
+			rhs := r.Range(1, 8)
+			if r.Bool(0.3) {
+				kind = GE
+				rhs = r.Range(0.1, 1)
+			}
+			p.AddConstraint(coefs, kind, rhs)
+			cons = append(cons, struct {
+				coefs map[int]float64
+				kind  ConstraintKind
+				rhs   float64
+			}{coefs, kind, rhs})
+		}
+		// Bound the region so minimization of negative costs is finite.
+		all := map[int]float64{}
+		for j := 0; j < n; j++ {
+			all[j] = 1
+		}
+		p.AddConstraint(all, LE, 20)
+		cons = append(cons, struct {
+			coefs map[int]float64
+			kind  ConstraintKind
+			rhs   float64
+		}{all, LE, 20})
+
+		sol, err := p.Solve()
+		if err == ErrInfeasible {
+			return true // possible with GE rows; fine
+		}
+		if err != nil {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if sol.X[j] < -1e-7 {
+				return false
+			}
+		}
+		for _, c := range cons {
+			var lhs float64
+			for j, v := range c.coefs {
+				lhs += v * sol.X[j]
+			}
+			switch c.kind {
+			case LE:
+				if lhs > c.rhs+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < c.rhs-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.rhs) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

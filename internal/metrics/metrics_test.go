@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"treesched/internal/rng"
+	"treesched/internal/sched"
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func run(t *testing.T) (*sim.Result, *workload.Trace) {
+	t.Helper()
+	tr := tree.Star(2)
+	r := rng.New(1)
+	trace, err := workload.Poisson(r, workload.GenConfig{
+		N:    100,
+		Size: workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 8}, Eps: 0.5},
+		Load: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(tr, trace, &sched.RoundRobin{}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, trace
+}
+
+func TestFlowsAndSummary(t *testing.T) {
+	res, _ := run(t)
+	fs := Flows(res)
+	if len(fs) != 100 {
+		t.Fatalf("flows = %d", len(fs))
+	}
+	s := FlowSummary(res)
+	if s.N != 100 || s.Mean <= 0 || s.Max < s.P99 {
+		t.Fatalf("bad summary %+v", s)
+	}
+}
+
+func TestStretchAtLeastOne(t *testing.T) {
+	res, _ := run(t)
+	for i, st := range Stretch(res) {
+		if st < 1-1e-9 {
+			t.Fatalf("job %d stretch %v < 1", i, st)
+		}
+	}
+}
+
+func TestPerClassPartitions(t *testing.T) {
+	res, trace := run(t)
+	classes := PerClass(res, trace, 0.5)
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	total := 0
+	for i, c := range classes {
+		total += c.Summary.N
+		if i > 0 && classes[i-1].Class >= c.Class {
+			t.Fatal("classes not ascending")
+		}
+		want := math.Pow(1.5, float64(c.Class))
+		if math.Abs(c.Size-want)/want > 1e-9 {
+			t.Fatalf("class %d size %v, want %v", c.Class, c.Size, want)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("classes cover %d/100 jobs", total)
+	}
+}
+
+func TestCompetitiveRatio(t *testing.T) {
+	res, _ := run(t)
+	r := CompetitiveRatio(res, res.Stats.TotalFlow)
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("self ratio = %v", r)
+	}
+	if !math.IsInf(CompetitiveRatio(res, 0), 1) {
+		t.Fatal("zero bound should give +Inf")
+	}
+}
+
+func TestUtilizations(t *testing.T) {
+	res, _ := run(t)
+	us := Utilizations(res)
+	if len(us) != 3 { // relay + 2 leaves
+		t.Fatalf("utilizations = %d", len(us))
+	}
+	var totalWork float64
+	for _, u := range us {
+		if u.Busy < 0 || u.Busy > 1+1e-9 {
+			t.Fatalf("node %d busy fraction %v", u.Node, u.Busy)
+		}
+		totalWork += u.Work
+	}
+	if totalWork <= 0 {
+		t.Fatal("no work recorded")
+	}
+	b := Bottleneck(res)
+	// The relay carries every job; it must be the bottleneck.
+	if b.Node != res.Sim.Tree().RootAdjacent()[0] {
+		t.Fatalf("bottleneck = node %d, want the relay", b.Node)
+	}
+}
+
+func TestQueueSampler(t *testing.T) {
+	tr := tree.Star(1)
+	qs := NewQueueSampler()
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0, Size: 2},
+		{ID: 2, Release: 0, Size: 2},
+	}}
+	res, err := sim.Run(tr, trace, &sched.RoundRobin{}, sim.Options{Observer: qs.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	stats := qs.Stats()
+	if len(stats) != 2 { // relay + leaf
+		t.Fatalf("queue stats for %d nodes, want 2", len(stats))
+	}
+	relay := stats[0]
+	if relay.Max != 3 {
+		t.Fatalf("relay max queue %d, want 3", relay.Max)
+	}
+	if relay.Avg <= 0 || relay.Avg > 3 {
+		t.Fatalf("relay avg queue %v out of (0,3]", relay.Avg)
+	}
+	hot := qs.Hottest()
+	if hot.Avg < stats[1].Avg {
+		t.Fatal("Hottest returned a cooler node")
+	}
+}
+
+func TestFlowCDFPoints(t *testing.T) {
+	res, _ := run(t)
+	pts := FlowCDFPoints(res, []float64{0, 1e12})
+	if pts[0] != 0 || pts[1] != 1 {
+		t.Fatalf("CDF endpoints = %v", pts)
+	}
+}

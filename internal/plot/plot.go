@@ -1,0 +1,132 @@
+// Package plot renders small ASCII line charts for the sweep
+// experiments (speed sweeps, eps sweeps) so EXPERIMENTS.md can show
+// curve shapes, not just tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a set of curves on a shared axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Series []Series
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+}
+
+// markers distinguish up to six series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart. Series points are connected by nothing —
+// each sampled point gets its series marker; with the coarse grids we
+// use the shape reads clearly.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w < 20 {
+		w = 60
+	}
+	if h < 5 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) || minX == maxX && minY == maxY {
+		// Degenerate input: avoid division by zero below.
+		maxX = minX + 1
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = m
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	yl, yh := minY, maxY
+	if c.LogY {
+		yl, yh = math.Pow(10, minY), math.Pow(10, maxY)
+	}
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.3g ", yh)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%9.3g ", yl)
+		}
+		fmt.Fprintf(&sb, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&sb, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%s%-.3g%s%.3g\n", strings.Repeat(" ", 11), minX, strings.Repeat(" ", maxInt(1, w-12)), maxX)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "%sx: %s", strings.Repeat(" ", 11), c.XLabel)
+		if c.YLabel != "" {
+			fmt.Fprintf(&sb, "   y: %s", c.YLabel)
+			if c.LogY {
+				sb.WriteString(" (log scale)")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&sb, "%slegend: %s\n", strings.Repeat(" ", 11), strings.Join(legend, "   "))
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

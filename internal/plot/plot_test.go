@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "demo",
+		XLabel: "speed",
+		YLabel: "flow",
+		Series: []Series{
+			{Name: "identical", X: []float64{1, 2, 3}, Y: []float64{100, 50, 25}},
+			{Name: "unrelated", X: []float64{1, 2, 3}, Y: []float64{200, 80, 30}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"demo", "x: speed", "y: flow", "* identical", "o unrelated", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers not drawn:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := &Chart{
+		LogY: true,
+		Series: []Series{
+			{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, 100, 10000}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "log scale") && !strings.Contains(out, "1e+04") {
+		// log scale note only prints with a y label; the axis value must
+		// still show the original magnitude.
+		if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+			t.Fatalf("log axis labels missing:\n%s", out)
+		}
+	}
+	// A zero y with LogY must not panic and is simply skipped.
+	c.Series[0].Y[0] = 0
+	_ = c.Render()
+}
+
+func TestRenderMonotoneShape(t *testing.T) {
+	// A strictly decreasing curve must place its first marker above
+	// its last marker.
+	c := &Chart{Series: []Series{{Name: "d", X: []float64{0, 1, 2, 3}, Y: []float64{8, 4, 2, 1}}}}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	first, last := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "*") {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || first >= last {
+		t.Fatalf("decreasing curve not rendered top-to-bottom (first=%d last=%d):\n%s", first, last, out)
+	}
+	firstCol := strings.Index(lines[first], "*")
+	lastCol := strings.Index(lines[last], "*")
+	if firstCol >= lastCol {
+		t.Fatalf("x axis reversed:\n%s", out)
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{1}, Y: []float64{5}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+	empty := &Chart{}
+	_ = empty.Render() // must not panic
+}

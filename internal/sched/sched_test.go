@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+
+	"treesched/internal/rng"
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func emptySim(t *testing.T, tr *tree.Tree) *sim.Sim {
+	t.Helper()
+	return sim.New(tr, sim.Options{})
+}
+
+func TestClosestLeafPicksShallow(t *testing.T) {
+	b := tree.NewBuilder()
+	v0 := b.AddRouter(b.Root())
+	shallow := b.AddLeaf(v0)
+	v1 := b.AddRouter(v0)
+	b.AddLeaf(v1)
+	tr := b.MustFinalize()
+	s := emptySim(t, tr)
+	if got := (ClosestLeaf{}).Assign(s.Query(), &sim.Arrival{ID: 0, Size: 1}); got != shallow {
+		t.Fatalf("ClosestLeaf chose %d, want %d", got, shallow)
+	}
+}
+
+func TestClosestLeafTieBreaksOnWork(t *testing.T) {
+	tr := tree.Star(2)
+	s := emptySim(t, tr)
+	a := &sim.Arrival{ID: 0, Size: 1, LeafSizes: []float64{5, 2}}
+	if got := (ClosestLeaf{}).Assign(s.Query(), a); got != tr.Leaves()[1] {
+		t.Fatalf("ClosestLeaf ignored leaf work: chose %d", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	tr := tree.Star(3)
+	s := emptySim(t, tr)
+	rr := &RoundRobin{}
+	seen := map[tree.NodeID]int{}
+	for i := 0; i < 6; i++ {
+		seen[rr.Assign(s.Query(), &sim.Arrival{ID: i, Size: 1})]++
+	}
+	for _, l := range tr.Leaves() {
+		if seen[l] != 2 {
+			t.Fatalf("RoundRobin visited leaf %d %d times, want 2", l, seen[l])
+		}
+	}
+}
+
+func TestRandomLeafCoverage(t *testing.T) {
+	tr := tree.Star(4)
+	s := emptySim(t, tr)
+	rl := &RandomLeaf{R: rng.New(1)}
+	seen := map[tree.NodeID]bool{}
+	for i := 0; i < 200; i++ {
+		v := rl.Assign(s.Query(), &sim.Arrival{ID: i, Size: 1})
+		if tr.LeafIndex(v) < 0 {
+			t.Fatal("RandomLeaf returned non-leaf")
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("RandomLeaf covered %d/4 leaves", len(seen))
+	}
+}
+
+func TestLeastVolumeAvoidsLoad(t *testing.T) {
+	tr := tree.Star(2)
+	s := emptySim(t, tr)
+	s.AdvanceTo(0)
+	loaded := tr.Leaves()[0]
+	for i := 0; i < 5; i++ {
+		if _, err := s.Inject(&sim.Arrival{ID: i, Release: 0, Size: 3}, loaded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both leaves share the relay; the loaded leaf differs via its own
+	// assigned queue.
+	if got := (LeastVolume{}).Assign(s.Query(), &sim.Arrival{ID: 10, Release: 0, Size: 1}); got != tr.Leaves()[1] {
+		t.Fatalf("LeastVolume chose the loaded leaf %d", got)
+	}
+}
+
+func TestMinPathWorkUnrelated(t *testing.T) {
+	// Deep-but-fast vs shallow-but-slow.
+	b := tree.NewBuilder()
+	v0 := b.AddRouter(b.Root())
+	slow := b.AddLeaf(v0) // depth 2
+	v1 := b.AddRouter(v0)
+	fast := b.AddLeaf(v1) // depth 3
+	tr := b.MustFinalize()
+	s := emptySim(t, tr)
+	a := &sim.Arrival{ID: 0, Size: 1, LeafSizes: make([]float64, 2)}
+	a.LeafSizes[tr.LeafIndex(slow)] = 10 // path work 1+10 = 11
+	a.LeafSizes[tr.LeafIndex(fast)] = 1  // path work 2+1 = 3
+	if got := (MinPathWork{}).Assign(s.Query(), a); got != fast {
+		t.Fatalf("MinPathWork chose %d, want fast leaf %d", got, fast)
+	}
+}
+
+func TestJoinShortestQueue(t *testing.T) {
+	tr := tree.BroomstickTree(2, 2, 1)
+	s := emptySim(t, tr)
+	s.AdvanceTo(0)
+	b0 := tr.SubtreeLeaves(tr.RootAdjacent()[0])[0]
+	for i := 0; i < 4; i++ {
+		if _, err := s.Inject(&sim.Arrival{ID: i, Release: 0, Size: 2}, b0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := (JoinShortestQueue{}).Assign(s.Query(), &sim.Arrival{ID: 9, Release: 0, Size: 1})
+	if tr.Branch(got) != tr.RootAdjacent()[1] {
+		t.Fatalf("JSQ joined the long queue (leaf %d)", got)
+	}
+}
+
+func TestOriginRestriction(t *testing.T) {
+	tr := tree.BroomstickTree(2, 3, 2)
+	s := emptySim(t, tr)
+	origin := tr.RootAdjacent()[1]
+	assigners := []sim.Assigner{ClosestLeaf{}, &RandomLeaf{R: rng.New(2)}, &RoundRobin{}, LeastVolume{}, MinPathWork{}, JoinShortestQueue{}}
+	for _, asg := range assigners {
+		v := asg.Assign(s.Query(), &sim.Arrival{ID: 0, Size: 1, Origin: origin})
+		if tr.Branch(v) != origin {
+			t.Fatalf("%s violated origin restriction: leaf %d", asg.Name(), v)
+		}
+	}
+	// Origin at a leaf pins the assignment.
+	leafOrigin := tr.Leaves()[3]
+	for _, asg := range assigners {
+		if v := asg.Assign(s.Query(), &sim.Arrival{ID: 0, Size: 1, Origin: leafOrigin}); v != leafOrigin {
+			t.Fatalf("%s ignored leaf origin", asg.Name())
+		}
+	}
+}
+
+// End-to-end: every baseline completes a mixed workload.
+func TestBaselinesEndToEnd(t *testing.T) {
+	tr := tree.FatTree(2, 2, 2)
+	r := rng.New(3)
+	trace, err := workload.Poisson(r, workload.GenConfig{N: 200, Size: workload.UniformSize{Lo: 1, Hi: 5}, Load: 0.8, Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asg := range []sim.Assigner{ClosestLeaf{}, &RandomLeaf{R: rng.New(4)}, &RoundRobin{}, LeastVolume{}, MinPathWork{}, JoinShortestQueue{}} {
+		res, err := sim.Run(tr, trace, asg, sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", asg.Name(), err)
+		}
+		if res.Stats.Completed != 200 {
+			t.Fatalf("%s completed %d/200", asg.Name(), res.Stats.Completed)
+		}
+	}
+}

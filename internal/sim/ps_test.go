@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"treesched/internal/rng"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func TestPSSingleJobMatchesDedicated(t *testing.T) {
+	tr := tree.Line(2)
+	trace := &workload.Trace{Jobs: []workload.Job{{ID: 0, Release: 0, Size: 4}}}
+	ps, err := Run(tr, trace, fixedAssigner{tr.Leaves()[0]}, Options{Policy: PS{}, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ps.Jobs[0].Completion, 12, 1e-9, "PS single-job completion")
+	approx(t, ps.Stats.FracFlow, 10, 1e-6, "PS single-job fractional")
+}
+
+func TestPSSharesEqually(t *testing.T) {
+	tr := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0, Size: 2},
+	}}
+	res, err := Run(tr, trace, fixedAssigner{tr.Leaves()[0]}, Options{Policy: PS{}, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relay shares: both finish the relay at t=4; leaf shares: both
+	// finish at t=8.
+	approx(t, res.Jobs[0].Completion, 8, 1e-9, "job 0 completion")
+	approx(t, res.Jobs[1].Completion, 8, 1e-9, "job 1 completion")
+	// SJF on the same instance: A relay 0-2, B 2-4; A leaf 2-4,
+	// B leaf 4-6 -> total 10 < PS total 16.
+	sjf, err := Run(tr, trace, fixedAssigner{tr.Leaves()[0]}, Options{Policy: SJF{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sjf.Stats.TotalFlow, 10, 1e-9, "SJF total")
+	if res.Stats.TotalFlow <= sjf.Stats.TotalFlow {
+		t.Fatal("PS should lose to SJF on total flow for equal jobs")
+	}
+}
+
+func TestPSUnequalSizes(t *testing.T) {
+	tr := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 1},
+		{ID: 1, Release: 0, Size: 3},
+	}}
+	res, err := Run(tr, trace, fixedAssigner{tr.Leaves()[0]}, Options{Policy: PS{}, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relay: shared until small job finishes at t=2 (each got 1 unit);
+	// big job then runs alone, finishing its remaining 2 at t=4.
+	// Leaf: small job arrives at 2, runs alone (big still upstream)
+	// and finishes at 3. Big arrives at 4, runs alone, finishes at 7.
+	approx(t, res.Jobs[0].Completion, 3, 1e-9, "small job")
+	approx(t, res.Jobs[1].Completion, 7, 1e-9, "big job")
+}
+
+func TestPSLateArrivalJoinsShare(t *testing.T) {
+	tr := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 4},
+		{ID: 1, Release: 2, Size: 1},
+	}}
+	res, err := Run(tr, trace, fixedAssigner{tr.Leaves()[0]}, Options{Policy: PS{}, SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relay: job0 alone 0-2 (2 done). Then shared: job1 (1 unit)
+	// finishes at t=4; job0's last unit alone finishes at t=5.
+	// Leaf: job1 arrives 4, alone until job0 arrives at 5 with job1
+	// having done 1 at... job1 leaf work 1: 4-5 alone -> done at 5.
+	// Job0 leaf 5-9.
+	approx(t, res.Jobs[1].Completion, 5, 1e-9, "small completion")
+	approx(t, res.Jobs[0].Completion, 9, 1e-9, "big completion")
+}
+
+// PS conservation: total work processed equals total demand, and the
+// active-count integral still equals total flow.
+func TestPSInvariants(t *testing.T) {
+	r := rng.New(55)
+	for iter := 0; iter < 20; iter++ {
+		tr := tree.Random(r, tree.RandomConfig{Branches: 1 + r.Intn(3), MaxDepth: 2 + r.Intn(3), MaxChildren: 2, LeafProb: 0.5})
+		trace, err := workload.Poisson(r, workload.GenConfig{
+			N:        60,
+			Size:     workload.UniformSize{Lo: 0.5, Hi: 6},
+			Load:     0.4 + r.Float64(),
+			Capacity: float64(len(tr.RootAdjacent())),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tr, trace, &rrAssigner{}, Options{Policy: PS{}, SelfCheck: true, Instrument: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Stats.ActiveIntegral-res.Stats.TotalFlow) > 1e-6*math.Max(1, res.Stats.TotalFlow) {
+			t.Fatalf("iter %d: active integral %v != total flow %v", iter, res.Stats.ActiveIntegral, res.Stats.TotalFlow)
+		}
+		if res.Stats.FracFlow > res.Stats.TotalFlow+1e-6 {
+			t.Fatalf("iter %d: fractional exceeds integral", iter)
+		}
+		// Store-and-forward still holds.
+		for _, js := range res.Sim.Tasks() {
+			for h := 1; h < len(js.Path); h++ {
+				if js.HopArrive[h] < js.HopComplete[h-1]-1e-9 {
+					t.Fatalf("iter %d: precedence violated", iter)
+				}
+			}
+		}
+	}
+}
+
+// Under PS the completion order on one node follows remaining work.
+func TestPSCompletionOrderDeterministic(t *testing.T) {
+	tr := tree.Star(1)
+	trace := &workload.Trace{Jobs: []workload.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0, Size: 2},
+		{ID: 2, Release: 0, Size: 2},
+	}}
+	a, err := Run(tr, trace, fixedAssigner{tr.Leaves()[0]}, Options{Policy: PS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, trace, fixedAssigner{tr.Leaves()[0]}, Options{Policy: PS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Completion != b.Jobs[i].Completion {
+			t.Fatal("PS runs are not deterministic")
+		}
+	}
+}

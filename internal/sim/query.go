@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"treesched/internal/tree"
+)
+
+// Query is the read-only view of engine state handed to Assigners and
+// to the instrumentation (potential function, Lemma validators). All
+// volumes are synced to the current simulation time before being read.
+type Query struct {
+	s *Sim
+}
+
+// Query returns the read-only state view.
+func (s *Sim) Query() *Query { return &Query{s} }
+
+// Tree returns the topology.
+func (q *Query) Tree() *tree.Tree { return q.s.tree }
+
+// Now returns the current simulation time.
+func (q *Query) Now() float64 { return q.s.now }
+
+// AvailVolumeHigher returns Σ p^A_{i,v}(t) over the jobs currently
+// available on node v with strictly higher SJF priority than a
+// hypothetical job with the given (size, release, id) — the volume
+// term of the paper's F(j,v) (S_{v,j} minus J_j itself; the caller
+// adds p_j for J_j's own membership in S).
+func (q *Query) AvailVolumeHigher(v tree.NodeID, size, release float64, id int) float64 {
+	q.s.sync(v)
+	var sum float64
+	q.s.nodes[v].avail.each(func(js *JobState) {
+		if higherPriority(js.PrioOnCur, js.Release, js.ID, js.seq, size, release, id, maxSeq) {
+			sum += js.Remaining
+		}
+	})
+	return sum
+}
+
+// AvailCountLarger returns |{J_i available on v : p_{i,v} > size}| —
+// the displacement term of F(j,v).
+func (q *Query) AvailCountLarger(v tree.NodeID, size float64) int {
+	count := 0
+	seen := make(map[int]bool)
+	q.s.nodes[v].avail.each(func(js *JobState) {
+		if js.PrioOnCur > size && !seen[js.ID] {
+			seen[js.ID] = true
+			count++
+		}
+	})
+	return count
+}
+
+// AvailVolume returns the total remaining volume available on v.
+func (q *Query) AvailVolume(v tree.NodeID) float64 {
+	q.s.sync(v)
+	var sum float64
+	q.s.nodes[v].avail.each(func(js *JobState) { sum += js.Remaining })
+	return sum
+}
+
+// AvailCount returns the number of jobs available on v.
+func (q *Query) AvailCount(v tree.NodeID) int {
+	return q.s.nodes[v].avail.len()
+}
+
+// remainingOnLeaf returns p^A_{i,leaf}(t): the task's remaining work
+// on its assigned leaf (full leaf work while still upstream).
+func (q *Query) remainingOnLeaf(js *JobState) float64 {
+	if js.Hop == len(js.Path)-1 {
+		q.s.sync(js.Leaf)
+		return js.Remaining
+	}
+	return js.LeafWork
+}
+
+// LeafQueue describes the paper's Q_v(t) for a leaf v: all incomplete
+// jobs assigned to it, wherever they currently are on the path.
+// The returned slice is live engine state; do not mutate.
+func (q *Query) LeafQueue(leaf tree.NodeID) []*JobState {
+	return q.s.assigned[q.s.tree.LeafIndex(leaf)]
+}
+
+// LeafVolumeHigher returns Σ_{J_i ∈ S_{v,j}(t)} p^A_{i,v}(t) over jobs
+// assigned to leaf v with higher priority than (sizeOnLeaf, release,
+// id), excluding J_j itself — the first term of the paper's F'(j,v).
+func (q *Query) LeafVolumeHigher(leaf tree.NodeID, sizeOnLeaf, release float64, id int) float64 {
+	var sum float64
+	for _, js := range q.LeafQueue(leaf) {
+		if higherPriority(js.PrioLeaf, js.Release, js.ID, js.seq, sizeOnLeaf, release, id, maxSeq) {
+			sum += q.remainingOnLeaf(js)
+		}
+	}
+	return sum
+}
+
+// LeafFracLarger returns Σ_{J_i ∈ Q_v(t), p_{i,v} > sizeOnLeaf}
+// p^A_{i,v}(t)/p_{i,v} — the fractional displacement term of F'(j,v).
+func (q *Query) LeafFracLarger(leaf tree.NodeID, sizeOnLeaf float64) float64 {
+	var sum float64
+	for _, js := range q.LeafQueue(leaf) {
+		if js.PrioLeaf > sizeOnLeaf {
+			sum += js.FracWeight * q.remainingOnLeaf(js) / js.LeafWork
+		}
+	}
+	return sum
+}
+
+// BranchFracRemaining returns Σ_{v'∈L(v)} Σ_{J_i∈Q_{v'}(t)}
+// p^A_{i,v'}(t)/p_{i,v'}: the total remaining leaf-work fraction of
+// jobs routed into the subtree of v — the α_{v,t} dual variable of
+// the paper's Section 3.5 for root-adjacent v.
+func (q *Query) BranchFracRemaining(v tree.NodeID) float64 {
+	var sum float64
+	for _, leaf := range q.s.tree.SubtreeLeaves(v) {
+		for _, js := range q.LeafQueue(leaf) {
+			sum += js.FracWeight * q.remainingOnLeaf(js) / js.LeafWork
+		}
+	}
+	return sum
+}
+
+// PendingOn returns the paper's Q_v(t) for any node v: tasks routed
+// through v that have not completed processing on v. Requires
+// Options.Instrument. Live engine state; do not mutate.
+func (q *Query) PendingOn(v tree.NodeID) []*JobState {
+	if q.s.pendingOn == nil {
+		panic("sim: PendingOn requires Options.Instrument")
+	}
+	return q.s.pendingOn[v]
+}
+
+// RemainingOn returns p^A_{i,v}(t): js's remaining processing on node
+// v, assuming v is on js's path at or after its current hop.
+func (q *Query) RemainingOn(js *JobState, v tree.NodeID) float64 {
+	if js.Hop < len(js.Path) && js.Path[js.Hop] == v {
+		q.s.sync(v)
+		return js.Remaining
+	}
+	// Not yet reached: full requirement.
+	if v == js.Leaf {
+		return js.LeafWork
+	}
+	return js.RouterSize
+}
+
+// SizeOn returns the full (original) processing requirement of js on v.
+func (q *Query) SizeOn(js *JobState, v tree.NodeID) float64 {
+	if v == js.Leaf {
+		return js.LeafWork
+	}
+	return js.RouterSize
+}
+
+// PrioSizeOn returns the priority size (the original job's size) of
+// js on node v; equals SizeOn for whole jobs.
+func (q *Query) PrioSizeOn(js *JobState, v tree.NodeID) float64 {
+	if v == js.Leaf {
+		return js.PrioLeaf
+	}
+	return js.PrioRouter
+}
+
+// HigherPriorityOn reports whether task i precedes a hypothetical job
+// (size, release, id) in SJF order on node v.
+func (q *Query) HigherPriorityOn(i *JobState, v tree.NodeID, size, release float64, id int) bool {
+	return higherPriority(q.PrioSizeOn(i, v), i.Release, i.ID, i.seq, size, release, id, maxSeq)
+}
+
+// maxSeq stands in for the engine sequence number of a job that has
+// not been injected yet: already-injected tasks with identical keys
+// and ID (packet siblings) keep priority over it.
+const maxSeq = int64(1) << 62

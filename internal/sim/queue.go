@@ -1,0 +1,158 @@
+package sim
+
+// taskQueue holds the jobs available on one node and yields the
+// highest-priority (smallest-key) one. Two implementations exist: a
+// binary heap (default, O(log n) updates) and a linear-scan reference
+// used to cross-check the heap in property tests and in the queue
+// ablation benchmark (experiment B8).
+type taskQueue interface {
+	push(js *JobState)
+	remove(js *JobState)
+	// fix restores ordering after js's key fields changed (SRPT).
+	fix(js *JobState)
+	min() *JobState
+	len() int
+	// each visits all queued tasks in unspecified order.
+	each(fn func(js *JobState))
+}
+
+// heapQueue is a binary min-heap over (key1, key2, seq).
+type heapQueue struct {
+	items []*JobState
+}
+
+func newHeapQueue() *heapQueue { return &heapQueue{} }
+
+func (h *heapQueue) len() int { return len(h.items) }
+
+func (h *heapQueue) min() *JobState {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *heapQueue) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	return higherPriority(a.key1, a.key2, a.ID, a.seq, b.key1, b.key2, b.ID, b.seq)
+}
+
+func (h *heapQueue) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].qidx = i
+	h.items[j].qidx = j
+}
+
+func (h *heapQueue) push(js *JobState) {
+	js.qidx = len(h.items)
+	h.items = append(h.items, js)
+	h.up(js.qidx)
+}
+
+func (h *heapQueue) remove(js *JobState) {
+	i := js.qidx
+	n := len(h.items) - 1
+	if i < 0 || i > n || h.items[i] != js {
+		panic("sim: removing task not in queue")
+	}
+	h.swap(i, n)
+	h.items = h.items[:n]
+	js.qidx = -1
+	if i < n {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h *heapQueue) fix(js *JobState) {
+	if !h.down(js.qidx) {
+		h.up(js.qidx)
+	}
+}
+
+func (h *heapQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *heapQueue) down(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && h.less(r, l) {
+			small = r
+		}
+		if !h.less(small, i) {
+			break
+		}
+		h.swap(i, small)
+		i = small
+		moved = true
+	}
+	return moved
+}
+
+func (h *heapQueue) each(fn func(js *JobState)) {
+	for _, js := range h.items {
+		fn(js)
+	}
+}
+
+// scanQueue is the O(n)-per-operation reference implementation.
+type scanQueue struct {
+	items []*JobState
+}
+
+func newScanQueue() *scanQueue { return &scanQueue{} }
+
+func (s *scanQueue) len() int { return len(s.items) }
+
+func (s *scanQueue) push(js *JobState) {
+	js.qidx = len(s.items)
+	s.items = append(s.items, js)
+}
+
+func (s *scanQueue) remove(js *JobState) {
+	i := js.qidx
+	n := len(s.items) - 1
+	if i < 0 || i > n || s.items[i] != js {
+		panic("sim: removing task not in queue")
+	}
+	s.items[i] = s.items[n]
+	s.items[i].qidx = i
+	s.items = s.items[:n]
+	js.qidx = -1
+}
+
+func (s *scanQueue) fix(*JobState) {}
+
+func (s *scanQueue) min() *JobState {
+	if len(s.items) == 0 {
+		return nil
+	}
+	best := s.items[0]
+	for _, js := range s.items[1:] {
+		if higherPriority(js.key1, js.key2, js.ID, js.seq, best.key1, best.key2, best.ID, best.seq) {
+			best = js
+		}
+	}
+	return best
+}
+
+func (s *scanQueue) each(fn func(js *JobState)) {
+	for _, js := range s.items {
+		fn(js)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"treesched/internal/rng"
+)
+
+func mkTask(id int, seq int64, k1, k2 float64) *JobState {
+	return &JobState{ID: id, seq: seq, key1: k1, key2: k2, qidx: -1}
+}
+
+// Draining the heap by repeated min+remove must yield tasks in exact
+// priority order, matching a sort of the same keys.
+func TestHeapQueueDrainsSorted(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := newHeapQueue()
+		n := 1 + r.Intn(60)
+		var all []*JobState
+		for i := 0; i < n; i++ {
+			js := mkTask(r.Intn(10), int64(i), float64(r.Intn(6)), float64(r.Intn(4)))
+			all = append(all, js)
+			h.push(js)
+		}
+		want := append([]*JobState(nil), all...)
+		sort.SliceStable(want, func(a, b int) bool {
+			x, y := want[a], want[b]
+			return higherPriority(x.key1, x.key2, x.ID, x.seq, y.key1, y.key2, y.ID, y.seq)
+		})
+		for _, w := range want {
+			got := h.min()
+			if got != w {
+				return false
+			}
+			h.remove(got)
+		}
+		return h.len() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Arbitrary interleavings of push/remove/fix must keep the heap and
+// the scan queue in agreement on the minimum.
+func TestQueueImplementationsAgree(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		h, sc := newHeapQueue(), newScanQueue()
+		// Two parallel element sets (qidx is per-queue state).
+		var hItems, sItems []*JobState
+		for step := 0; step < 200; step++ {
+			switch {
+			case len(hItems) == 0 || r.Bool(0.5):
+				k1, k2 := float64(r.Intn(8)), float64(r.Intn(4))
+				id, seq := r.Intn(12), int64(step)
+				a, b := mkTask(id, seq, k1, k2), mkTask(id, seq, k1, k2)
+				h.push(a)
+				sc.push(b)
+				hItems = append(hItems, a)
+				sItems = append(sItems, b)
+			case r.Bool(0.3):
+				// Update a random element's key and fix.
+				i := r.Intn(len(hItems))
+				k1, k2 := float64(r.Intn(8)), float64(r.Intn(4))
+				hItems[i].key1, hItems[i].key2 = k1, k2
+				sItems[i].key1, sItems[i].key2 = k1, k2
+				h.fix(hItems[i])
+				sc.fix(sItems[i])
+			default:
+				i := r.Intn(len(hItems))
+				h.remove(hItems[i])
+				sc.remove(sItems[i])
+				hItems = append(hItems[:i], hItems[i+1:]...)
+				sItems = append(sItems[:i], sItems[i+1:]...)
+			}
+			hm, sm := h.min(), sc.min()
+			if (hm == nil) != (sm == nil) {
+				return false
+			}
+			if hm != nil && (hm.key1 != sm.key1 || hm.key2 != sm.key2 || hm.ID != sm.ID || hm.seq != sm.seq) {
+				return false
+			}
+			if h.len() != sc.len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueRemoveForeignPanics(t *testing.T) {
+	h := newHeapQueue()
+	h.push(mkTask(0, 0, 1, 1))
+	foreign := mkTask(1, 1, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing a foreign task did not panic")
+		}
+	}()
+	h.remove(foreign)
+}

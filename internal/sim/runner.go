@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// JobMetrics records one job's outcome.
+type JobMetrics struct {
+	ID         int
+	Release    float64
+	Completion float64
+	Flow       float64
+	Leaf       tree.NodeID
+	// PathWork is Σ_{v on path} p_{j,v}: the congestion-free lower
+	// bound on the job's flow time.
+	PathWork float64
+	// Weight is the job's importance (1 unless set on the trace).
+	Weight float64
+}
+
+// Result is a completed run of a trace through the engine.
+type Result struct {
+	Jobs  []JobMetrics
+	Stats Stats
+	// Sim is the drained engine, retained so callers can read
+	// instrumentation (per-hop timings, utilization).
+	Sim *Sim
+}
+
+// TotalFlow is a convenience accessor.
+func (r *Result) TotalFlow() float64 { return r.Stats.TotalFlow }
+
+// AvgFlow returns the average flow time per job.
+func (r *Result) AvgFlow() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	return r.Stats.TotalFlow / float64(len(r.Jobs))
+}
+
+// LkNormFlow returns the ℓ_k norm of the per-job flow times — the
+// alternative objective the paper's conclusion raises (k=2 is the
+// fairness-sensitive variant; math.Inf(1) gives max flow).
+func (r *Result) LkNormFlow(k float64) float64 {
+	if math.IsInf(k, 1) {
+		return r.Stats.MaxFlow
+	}
+	var s float64
+	for i := range r.Jobs {
+		s += math.Pow(r.Jobs[i].Flow, k)
+	}
+	return math.Pow(s, 1/k)
+}
+
+// WriteJSON persists the run's per-job metrics and summary statistics
+// (not the engine state) for downstream analysis.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		Stats Stats        `json:"stats"`
+		Jobs  []JobMetrics `json:"jobs"`
+	}{r.Stats, r.Jobs})
+}
+
+// Run simulates a full trace on the tree: it advances the engine to
+// each arrival, consults the assigner (immediate dispatch), injects
+// the job, and drains the engine at the end.
+func Run(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Options) (*Result, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	s := New(t, opts)
+	for i := range trace.Jobs {
+		j := &trace.Jobs[i]
+		if j.LeafSizes != nil && len(j.LeafSizes) != len(t.Leaves()) {
+			return nil, fmt.Errorf("sim: job %d has %d leaf sizes for a %d-leaf tree", j.ID, len(j.LeafSizes), len(t.Leaves()))
+		}
+		s.AdvanceTo(j.Release)
+		a := &Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
+		leaf := asg.Assign(s.Query(), a)
+		if _, err := s.Inject(a, leaf); err != nil {
+			return nil, fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
+		}
+	}
+	s.Drain()
+	return collect(t, s, len(trace.Jobs))
+}
+
+func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
+	res := &Result{Sim: s, Jobs: make([]JobMetrics, n)}
+	found := make([]bool, n)
+	for _, js := range s.Tasks() {
+		if !js.Completed {
+			return nil, fmt.Errorf("sim: task of job %d did not complete", js.ID)
+		}
+		m := &res.Jobs[js.ID]
+		if !found[js.ID] {
+			found[js.ID] = true
+			m.ID = js.ID
+			m.Release = js.Release
+			m.Leaf = js.Leaf
+			m.Weight = js.Weight
+		}
+		// Packets of one job: completion is the last packet's, path
+		// work accumulates across packets.
+		if js.Completion > m.Completion {
+			m.Completion = js.Completion
+		}
+		m.PathWork += js.RouterSize*float64(len(js.Path)-1) + js.LeafWork
+	}
+	st := Stats{FracFlow: s.fracIntegral, ActiveIntegral: s.activeIntegral, Events: s.eventCount}
+	for i := range res.Jobs {
+		if !found[i] {
+			return nil, fmt.Errorf("sim: job %d never completed", i)
+		}
+		m := &res.Jobs[i]
+		m.Flow = m.Completion - m.Release
+		st.TotalFlow += m.Flow
+		st.WeightedFlow += m.Weight * m.Flow
+		if m.Flow > st.MaxFlow {
+			st.MaxFlow = m.Flow
+		}
+		if m.Completion > st.Makespan {
+			st.Makespan = m.Completion
+		}
+		st.Completed++
+	}
+	res.Stats = st
+	return res, nil
+}
+
+// RunPacketized simulates the paper's Section 2 variant in which a
+// job's data may be forwarded in unit-size pieces: each job is split
+// into ceil(p_j) packets that traverse the tree independently
+// (store-and-forward per packet, so the job pipelines across routers).
+// The job completes when its last packet finishes on the leaf. The
+// leaf assignment is still decided once per job at arrival.
+func RunPacketized(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Options) (*Result, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	s := New(t, opts)
+	for i := range trace.Jobs {
+		j := &trace.Jobs[i]
+		s.AdvanceTo(j.Release)
+		a := &Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin)}
+		leaf := asg.Assign(s.Query(), a)
+		li := t.LeafIndex(leaf)
+		if li < 0 {
+			return nil, fmt.Errorf("sim: assigner %q chose non-leaf %d", asg.Name(), leaf)
+		}
+		k := int(math.Ceil(j.Size))
+		if k < 1 {
+			k = 1
+		}
+		routerPiece := j.Size / float64(k)
+		leafPiece := a.LeafSize(li) / float64(k)
+		for p := 0; p < k; p++ {
+			js := &JobState{
+				ID:         j.ID,
+				seq:        s.nextSeq,
+				Release:    j.Release,
+				RouterSize: routerPiece,
+				LeafWork:   leafPiece,
+				PrioRouter: j.Size,
+				PrioLeaf:   a.LeafSize(li),
+				FracWeight: 1 / float64(k),
+				Leaf:       leaf,
+			}
+			s.nextSeq++
+			if err := s.inject(js, tree.NodeID(j.Origin)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.Drain()
+	return collect(t, s, len(trace.Jobs))
+}

@@ -1,0 +1,730 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/tree"
+)
+
+// timeEps absorbs floating-point slack in event times and remaining
+// work. Processing times in experiments are O(1)..O(10^3), so 1e-9 is
+// far below any meaningful quantity.
+const timeEps = 1e-9
+
+// JobState is the engine's record of one schedulable task (a job, or
+// one packet of a job in packetized mode) travelling down its path.
+type JobState struct {
+	// ID of the originating job; packets share their parent's ID.
+	ID int
+	// seq is the unique engine-wide task sequence number used as the
+	// final deterministic tie-breaker.
+	seq int64
+
+	Release float64
+	// RouterSize is the processing requirement on every router
+	// (p_j; the packet fraction of it in packetized mode).
+	RouterSize float64
+	// LeafWork is the processing requirement on the assigned leaf.
+	LeafWork float64
+	// FracWeight is this task's contribution to a fully-remaining
+	// job's fractional flow (1 for whole jobs, 1/k for k packets).
+	FracWeight float64
+	// Weight is the job's importance for weighted flow time (>= 1).
+	Weight float64
+
+	Leaf tree.NodeID
+	Path []tree.NodeID
+	// Hop indexes Path at the node the task currently occupies;
+	// len(Path) once complete.
+	Hop int
+
+	// PrioRouter/PrioLeaf are the sizes used for SJF priority: the
+	// originating job's full p_j and p_{j,v}. For whole jobs they
+	// equal RouterSize/LeafWork; packets inherit the parent's values
+	// so SJF still orders by original job size, as the paper requires.
+	PrioRouter float64
+	PrioLeaf   float64
+
+	// OrigOnCur is the task's full processing requirement on its
+	// current node; Remaining is what is left of it. PrioOnCur is the
+	// priority size on the current node.
+	OrigOnCur float64
+	PrioOnCur float64
+	Remaining float64
+	// NodeArrive is when the task became available on the current node.
+	NodeArrive float64
+
+	Completed  bool
+	Completion float64
+	// HopArrive/HopComplete record per-hop timings when the engine is
+	// instrumented; otherwise nil.
+	HopArrive   []float64
+	HopComplete []float64
+
+	// key1/key2 cache the node policy's priority key.
+	key1, key2 float64
+	// qidx is the task's position in its node's queue (-1 if absent).
+	qidx int
+	// leafIdx is the task's position in the leaf's assigned list.
+	leafIdx int
+	// pendIdx[i] is the position in pendingOn for Path[i] (instrumented).
+	pendIdx []int
+}
+
+// CurrentNode returns the node the task occupies, or tree.None when done.
+func (js *JobState) CurrentNode() tree.NodeID {
+	if js.Hop >= len(js.Path) {
+		return tree.None
+	}
+	return js.Path[js.Hop]
+}
+
+type nodeState struct {
+	id    tree.NodeID
+	speed float64
+	leaf  bool
+
+	avail   taskQueue
+	running *JobState
+	// finishSeq invalidates scheduled finish events; only the event
+	// carrying the current value is live.
+	finishSeq uint64
+	lastSync  float64
+
+	busyTime float64
+	workDone float64
+	// fracContrib is this leaf's current drain rate of the global
+	// fractional-flow sum (0 for routers and idle leaves).
+	fracContrib float64
+}
+
+type finishEvent struct {
+	at   float64
+	node tree.NodeID
+	seq  uint64
+}
+
+// Options configures the engine.
+type Options struct {
+	// Policy is the node scheduling policy (default SJF).
+	Policy Policy
+	// Instrument enables per-hop timing records and per-router
+	// pending sets (needed by the Lemma validators and the potential
+	// function; costs memory and a little time).
+	Instrument bool
+	// UseScanQueue selects the O(n) reference queue (experiment B8).
+	UseScanQueue bool
+	// SelfCheck enables internal invariant assertions (tests).
+	SelfCheck bool
+	// Observer, when set, is called after every state change (task
+	// injection and every node completion). Used by the Lemma
+	// validators to check invariants at event granularity.
+	Observer func(s *Sim)
+	// RecordSlices keeps the exact processing slices (node, job,
+	// interval) including preemption boundaries; costs memory
+	// proportional to the number of preemptions. Not supported in
+	// processor-sharing mode (work is fluid there).
+	RecordSlices bool
+}
+
+// Slice is one maximal interval during which a node processed a task.
+type Slice struct {
+	Node     tree.NodeID
+	Job      int
+	Seq      int64
+	From, To float64
+}
+
+// Sim is the simulation engine. Create with New, feed arrivals with
+// Inject (after AdvanceTo their release time), and finish with Drain.
+type Sim struct {
+	tree *tree.Tree
+	opts Options
+
+	now   float64
+	nodes []nodeState
+	// events is a min-heap of scheduled node-finish events with lazy
+	// invalidation via nodeState.finishSeq.
+	events []finishEvent
+
+	tasks   []*JobState
+	nextSeq int64
+
+	// assigned[leafIndex] lists incomplete tasks assigned to the leaf
+	// (the paper's Q_v(t) for leaves).
+	assigned [][]*JobState
+	// pendingOn[node] lists tasks routed through node and not yet
+	// complete on it (the paper's Q_v(t)); only kept when Instrument.
+	pendingOn [][]*JobState
+
+	activeTasks int
+	// ps marks processor-sharing mode (Options.Policy == PS{}).
+	ps bool
+	// slices holds the exact processing record when RecordSlices.
+	slices []Slice
+	// Running totals.
+	fracSum        float64 // Σ weight * remainingLeafFraction over active tasks
+	fracRate       float64 // d(fracSum)/dt from leaves currently processing
+	fracIntegral   float64
+	activeIntegral float64 // ∫ activeTasks dt (integral-flow cross-check)
+	eventCount     int64
+}
+
+// New creates an engine for the given tree.
+func New(t *tree.Tree, opts Options) *Sim {
+	if opts.Policy == nil {
+		opts.Policy = SJF{}
+	}
+	s := &Sim{tree: t, opts: opts}
+	_, s.ps = opts.Policy.(PS)
+	s.nodes = make([]nodeState, t.NumNodes())
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		n.id = tree.NodeID(i)
+		n.speed = t.Speed(n.id)
+		n.leaf = t.IsLeaf(n.id)
+		if opts.UseScanQueue || s.ps {
+			// Processor sharing recomputes the next completion by
+			// scanning, so the heap's cached keys would be stale.
+			n.avail = newScanQueue()
+		} else {
+			n.avail = newHeapQueue()
+		}
+	}
+	s.assigned = make([][]*JobState, len(t.Leaves()))
+	if opts.Instrument {
+		s.pendingOn = make([][]*JobState, t.NumNodes())
+	}
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Tree returns the topology being simulated.
+func (s *Sim) Tree() *tree.Tree { return s.tree }
+
+// Inject dispatches a job (or packet task) to the given leaf at the
+// current simulation time. The caller must have advanced the engine to
+// the task's release time first. The returned JobState is live engine
+// state; callers may read it but must not mutate it.
+func (s *Sim) Inject(a *Arrival, leaf tree.NodeID) (*JobState, error) {
+	if s.tree.LeafIndex(leaf) < 0 {
+		return nil, fmt.Errorf("sim: assignment to non-leaf node %d", leaf)
+	}
+	if a.Release > s.now+timeEps {
+		return nil, fmt.Errorf("sim: injecting job %d at t=%v before its release %v", a.ID, s.now, a.Release)
+	}
+	w := a.Weight
+	if w <= 0 {
+		w = 1
+	}
+	js := &JobState{
+		ID:         a.ID,
+		seq:        s.nextSeq,
+		Release:    a.Release,
+		RouterSize: a.Size,
+		LeafWork:   a.LeafSize(s.tree.LeafIndex(leaf)),
+		FracWeight: 1,
+		Weight:     w,
+		Leaf:       leaf,
+	}
+	s.nextSeq++
+	return js, s.inject(js, a.Origin)
+}
+
+func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
+	if js.Weight <= 0 {
+		js.Weight = 1
+	}
+	full := s.tree.Path(js.Leaf)
+	if origin != 0 {
+		// Arbitrary-origin extension: process only strictly below the
+		// origin; the origin must be a path node or the leaf's parent.
+		cut := -1
+		for i, v := range full {
+			if v == origin {
+				cut = i
+				break
+			}
+		}
+		if cut < 0 {
+			return fmt.Errorf("sim: job %d origin %d is not an ancestor of leaf %d", js.ID, origin, js.Leaf)
+		}
+		full = full[cut+1:]
+		if len(full) == 0 {
+			// Origin is the leaf itself: machine work still required.
+			full = s.tree.Path(js.Leaf)[len(s.tree.Path(js.Leaf))-1:]
+		}
+	}
+	js.Path = full
+	js.Hop = 0
+	if js.PrioRouter == 0 {
+		js.PrioRouter = js.RouterSize
+	}
+	if js.PrioLeaf == 0 {
+		js.PrioLeaf = js.LeafWork
+	}
+	first := js.Path[0]
+	js.OrigOnCur = s.sizeOn(js, 0)
+	js.PrioOnCur = s.prioOn(js, 0)
+	js.Remaining = js.OrigOnCur
+	js.NodeArrive = s.now
+	if s.opts.Instrument {
+		js.HopArrive = make([]float64, len(js.Path))
+		js.HopComplete = make([]float64, len(js.Path))
+		js.HopArrive[0] = s.now
+		js.pendIdx = make([]int, len(js.Path))
+		for i, v := range js.Path {
+			js.pendIdx[i] = len(s.pendingOn[v])
+			s.pendingOn[v] = append(s.pendingOn[v], js)
+		}
+	}
+	li := s.tree.LeafIndex(js.Leaf)
+	js.leafIdx = len(s.assigned[li])
+	s.assigned[li] = append(s.assigned[li], js)
+
+	s.tasks = append(s.tasks, js)
+	s.activeTasks++
+	s.fracSum += js.FracWeight
+
+	s.setKey(js)
+	// Sync before pushing: nodes sync lazily, and under processor
+	// sharing the elapsed work must be distributed among the tasks
+	// that were present, not the newcomer.
+	s.sync(first)
+	s.nodes[first].avail.push(js)
+	s.reschedule(first)
+	if s.opts.Observer != nil {
+		s.opts.Observer(s)
+	}
+	return nil
+}
+
+// sizeOn returns the task's full processing requirement on Path[hop].
+func (s *Sim) sizeOn(js *JobState, hop int) float64 {
+	if hop == len(js.Path)-1 {
+		return js.LeafWork
+	}
+	return js.RouterSize
+}
+
+// prioOn returns the priority size (original job size) on Path[hop].
+func (s *Sim) prioOn(js *JobState, hop int) float64 {
+	if hop == len(js.Path)-1 {
+		return js.PrioLeaf
+	}
+	return js.PrioRouter
+}
+
+func (s *Sim) setKey(js *JobState) {
+	js.key1, js.key2 = s.opts.Policy.Key(js)
+}
+
+// sync brings the node's running task's Remaining and the node's
+// accounting up to the current time. Under processor sharing the
+// elapsed work is split equally across all available tasks.
+func (s *Sim) sync(v tree.NodeID) {
+	n := &s.nodes[v]
+	from := n.lastSync
+	dt := s.now - n.lastSync
+	n.lastSync = s.now
+	if dt <= 0 {
+		return
+	}
+	if s.ps {
+		k := n.avail.len()
+		if k == 0 {
+			return
+		}
+		share := dt * n.speed / float64(k)
+		var done float64
+		n.avail.each(func(js *JobState) {
+			d := share
+			if d > js.Remaining {
+				d = js.Remaining
+			}
+			js.Remaining -= d
+			done += d
+		})
+		n.busyTime += dt
+		n.workDone += done
+		return
+	}
+	if n.running == nil {
+		return
+	}
+	done := dt * n.speed
+	if done > n.running.Remaining {
+		done = n.running.Remaining
+	}
+	n.running.Remaining -= done
+	n.busyTime += dt
+	n.workDone += done
+	if s.opts.RecordSlices {
+		// Merge with the previous slice when the same task continued.
+		if k := len(s.slices) - 1; k >= 0 && s.slices[k].Node == v &&
+			s.slices[k].Seq == n.running.seq && s.slices[k].To == from {
+			s.slices[k].To = s.now
+		} else {
+			s.slices = append(s.slices, Slice{Node: v, Job: n.running.ID, Seq: n.running.seq, From: from, To: s.now})
+		}
+	}
+}
+
+// reschedule re-evaluates which task node v should run, scheduling or
+// cancelling its finish event as needed. Callers must have already
+// advanced time; reschedule syncs the node itself.
+func (s *Sim) reschedule(v tree.NodeID) {
+	if s.ps {
+		s.reschedulePS(v)
+		return
+	}
+	n := &s.nodes[v]
+	s.sync(v)
+	if n.running != nil {
+		// The running task's key may depend on Remaining (SRPT).
+		s.setKey(n.running)
+		n.avail.fix(n.running)
+	}
+	best := n.avail.min()
+	if best == n.running {
+		return
+	}
+	n.running = best
+	n.finishSeq++
+	if n.leaf {
+		s.fracRate -= n.fracContrib
+		n.fracContrib = 0
+	}
+	if best == nil {
+		return
+	}
+	if n.leaf {
+		n.fracContrib = best.FracWeight * n.speed / best.OrigOnCur
+		s.fracRate += n.fracContrib
+	}
+	s.events = append(s.events, finishEvent{
+		at:   s.now + best.Remaining/n.speed,
+		node: v,
+		seq:  n.finishSeq,
+	})
+	s.upEvent(len(s.events) - 1)
+}
+
+// reschedulePS is the processor-sharing variant: all available tasks
+// progress at rate speed/k, so the next completion is the minimum
+// remaining task and its finish time scales with the share count.
+func (s *Sim) reschedulePS(v tree.NodeID) {
+	n := &s.nodes[v]
+	s.sync(v)
+	var best *JobState
+	n.avail.each(func(js *JobState) {
+		if best == nil ||
+			js.Remaining < best.Remaining ||
+			(js.Remaining == best.Remaining && (js.ID < best.ID || (js.ID == best.ID && js.seq < best.seq))) {
+			best = js
+		}
+	})
+	// Any change to the share count moves every deadline, so always
+	// reissue the event.
+	n.running = best
+	n.finishSeq++
+	if n.leaf {
+		s.fracRate -= n.fracContrib
+		n.fracContrib = 0
+	}
+	if best == nil {
+		return
+	}
+	k := float64(n.avail.len())
+	if n.leaf {
+		var contrib float64
+		n.avail.each(func(js *JobState) {
+			contrib += js.FracWeight * (n.speed / k) / js.OrigOnCur
+		})
+		n.fracContrib = contrib
+		s.fracRate += contrib
+	}
+	s.events = append(s.events, finishEvent{
+		at:   s.now + best.Remaining*k/n.speed,
+		node: v,
+		seq:  n.finishSeq,
+	})
+	s.upEvent(len(s.events) - 1)
+}
+
+// --- event heap (min by time, then node for determinism) ---
+
+func (s *Sim) eventLess(i, j int) bool {
+	if s.events[i].at != s.events[j].at {
+		return s.events[i].at < s.events[j].at
+	}
+	return s.events[i].node < s.events[j].node
+}
+
+func (s *Sim) upEvent(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.eventLess(i, p) {
+			break
+		}
+		s.events[i], s.events[p] = s.events[p], s.events[i]
+		i = p
+	}
+}
+
+func (s *Sim) downEvent(i int) {
+	n := len(s.events)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && s.eventLess(r, l) {
+			small = r
+		}
+		if !s.eventLess(small, i) {
+			break
+		}
+		s.events[i], s.events[small] = s.events[small], s.events[i]
+		i = small
+	}
+}
+
+func (s *Sim) popEvent() finishEvent {
+	top := s.events[0]
+	n := len(s.events) - 1
+	s.events[0] = s.events[n]
+	s.events = s.events[:n]
+	if n > 0 {
+		s.downEvent(0)
+	}
+	return top
+}
+
+// nextEvent returns the earliest live finish event without removing
+// it, discarding stale entries.
+func (s *Sim) nextEvent() (finishEvent, bool) {
+	for len(s.events) > 0 {
+		top := s.events[0]
+		if s.nodes[top.node].finishSeq == top.seq {
+			return top, true
+		}
+		s.popEvent()
+	}
+	return finishEvent{}, false
+}
+
+// advanceClock moves time forward with no events in between,
+// accumulating the flow-time integrals.
+func (s *Sim) advanceClock(to float64) {
+	dt := to - s.now
+	if dt <= 0 {
+		return
+	}
+	s.activeIntegral += float64(s.activeTasks) * dt
+	s.fracIntegral += s.fracSum*dt - 0.5*s.fracRate*dt*dt
+	s.fracSum -= s.fracRate * dt
+	if s.fracSum < 0 {
+		s.fracSum = 0 // floating-point guard
+	}
+	s.now = to
+}
+
+// AdvanceTo processes all events up to and including the target time
+// and leaves the clock there.
+func (s *Sim) AdvanceTo(target float64) {
+	if target < s.now-timeEps {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now=%v", target, s.now))
+	}
+	for {
+		ev, ok := s.nextEvent()
+		if !ok || ev.at > target {
+			break
+		}
+		s.popEvent()
+		s.advanceClock(ev.at)
+		s.handleFinish(ev.node)
+	}
+	s.advanceClock(target)
+}
+
+// Drain runs the engine until no tasks remain active.
+func (s *Sim) Drain() {
+	for {
+		ev, ok := s.nextEvent()
+		if !ok {
+			break
+		}
+		s.popEvent()
+		s.advanceClock(ev.at)
+		s.handleFinish(ev.node)
+	}
+	if s.activeTasks != 0 {
+		panic(fmt.Sprintf("sim: drained with %d active tasks; a task is stuck", s.activeTasks))
+	}
+	if s.opts.SelfCheck {
+		if err := s.CheckInvariants(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// handleFinish completes the running task on node v.
+func (s *Sim) handleFinish(v tree.NodeID) {
+	n := &s.nodes[v]
+	js := n.running
+	if js == nil {
+		panic("sim: finish event on idle node")
+	}
+	s.sync(v)
+	if s.opts.SelfCheck && js.Remaining > 1e-6 {
+		panic(fmt.Sprintf("sim: task %d finished on node %d with %v remaining", js.ID, v, js.Remaining))
+	}
+	js.Remaining = 0
+	s.eventCount++
+
+	n.avail.remove(js)
+	n.running = nil
+	n.finishSeq++
+	if n.leaf {
+		s.fracRate -= n.fracContrib
+		n.fracContrib = 0
+	}
+	if s.opts.Instrument {
+		js.HopComplete[js.Hop] = s.now
+		s.pendRemove(v, js)
+	}
+
+	js.Hop++
+	if js.Hop == len(js.Path) {
+		// Completed on the leaf machine.
+		js.Completed = true
+		js.Completion = s.now
+		s.activeTasks--
+		li := s.tree.LeafIndex(js.Leaf)
+		s.assignedRemove(li, js)
+	} else {
+		w := js.Path[js.Hop]
+		js.OrigOnCur = s.sizeOn(js, js.Hop)
+		js.PrioOnCur = s.prioOn(js, js.Hop)
+		js.Remaining = js.OrigOnCur
+		js.NodeArrive = s.now
+		if s.opts.Instrument {
+			js.HopArrive[js.Hop] = s.now
+		}
+		s.setKey(js)
+		s.sync(w) // see Inject: distribute elapsed work before joining
+		s.nodes[w].avail.push(js)
+		s.reschedule(w)
+	}
+	s.reschedule(v)
+	if s.opts.Observer != nil {
+		s.opts.Observer(s)
+	}
+}
+
+func (s *Sim) assignedRemove(li int, js *JobState) {
+	lst := s.assigned[li]
+	i, n := js.leafIdx, len(lst)-1
+	lst[i] = lst[n]
+	lst[i].leafIdx = i
+	s.assigned[li] = lst[:n]
+	js.leafIdx = -1
+}
+
+func (s *Sim) pendRemove(v tree.NodeID, js *JobState) {
+	hop := -1
+	for i, u := range js.Path {
+		if u == v {
+			hop = i
+			break
+		}
+	}
+	lst := s.pendingOn[v]
+	i, n := js.pendIdx[hop], len(lst)-1
+	lst[i] = lst[n]
+	// Fix the moved task's back-pointer for this node.
+	moved := lst[i]
+	for mi, u := range moved.Path {
+		if u == v {
+			moved.pendIdx[mi] = i
+			break
+		}
+	}
+	s.pendingOn[v] = lst[:n]
+	js.pendIdx[hop] = -1
+}
+
+// Active returns the number of incomplete tasks.
+func (s *Sim) Active() int { return s.activeTasks }
+
+// Slices returns the exact processing record (requires
+// Options.RecordSlices). Slices are in the order work was performed;
+// consecutive slices of one task on one node are merged.
+func (s *Sim) Slices() []Slice {
+	if !s.opts.RecordSlices {
+		panic("sim: Slices requires Options.RecordSlices")
+	}
+	return s.slices
+}
+
+// Tasks returns all tasks ever injected, in injection order. Live
+// engine state: read-only for callers.
+func (s *Sim) Tasks() []*JobState { return s.tasks }
+
+// Stats summarize an engine run.
+type Stats struct {
+	// TotalFlow is Σ_j (C_j − r_j) over completed tasks.
+	TotalFlow float64
+	// WeightedFlow is Σ_j w_j (C_j − r_j).
+	WeightedFlow float64
+	// FracFlow is the paper's fractional flow time: the time integral
+	// of Σ weight·(remaining leaf work fraction).
+	FracFlow float64
+	// ActiveIntegral is ∫ (number of active tasks) dt; equals
+	// TotalFlow when every task completes (cross-check invariant).
+	ActiveIntegral float64
+	MaxFlow        float64
+	Makespan       float64
+	Events         int64
+	Completed      int
+}
+
+// Stats computes summary statistics of the run so far.
+func (s *Sim) Stats() Stats {
+	st := Stats{FracFlow: s.fracIntegral, ActiveIntegral: s.activeIntegral, Events: s.eventCount}
+	for _, js := range s.tasks {
+		if !js.Completed {
+			continue
+		}
+		st.Completed++
+		f := js.Completion - js.Release
+		st.TotalFlow += f
+		st.WeightedFlow += js.Weight * f
+		if f > st.MaxFlow {
+			st.MaxFlow = f
+		}
+		if js.Completion > st.Makespan {
+			st.Makespan = js.Completion
+		}
+	}
+	return st
+}
+
+// NodeUtilization returns per-node (busyTime, workDone) up to now.
+func (s *Sim) NodeUtilization(v tree.NodeID) (busy, work float64) {
+	// Report includes the running task's progress up to now.
+	n := &s.nodes[v]
+	busy, work = n.busyTime, n.workDone
+	if n.running != nil {
+		dt := s.now - n.lastSync
+		done := math.Min(dt*n.speed, n.running.Remaining)
+		busy += dt
+		work += done
+	}
+	return busy, work
+}

@@ -1,0 +1,196 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming moments (Welford), exact quantiles,
+// logarithmic histograms and empirical CDFs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 for empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 for empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of the data using
+// linear interpolation between order statistics. It sorts a copy.
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	cp := append([]float64(nil), data...)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P50, P90, P99 float64
+	Max                float64
+}
+
+// Summarize computes a Summary of the data.
+func Summarize(data []float64) Summary {
+	var w Welford
+	for _, x := range data {
+		w.Add(x)
+	}
+	if len(data) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    len(data),
+		Mean: w.Mean(), Std: w.Std(),
+		Min: w.Min(),
+		P50: Quantile(data, 0.5), P90: Quantile(data, 0.9), P99: Quantile(data, 0.99),
+		Max: w.Max(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// LogHistogram buckets positive values by powers of the given base.
+type LogHistogram struct {
+	Base    float64
+	counts  map[int]int64
+	total   int64
+	underlo int64 // non-positive values
+}
+
+// NewLogHistogram creates a histogram with the given bucket base (>1).
+func NewLogHistogram(base float64) *LogHistogram {
+	if base <= 1 {
+		panic("stats: log histogram base must exceed 1")
+	}
+	return &LogHistogram{Base: base, counts: make(map[int]int64)}
+}
+
+// Add records a value.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	if x <= 0 {
+		h.underlo++
+		return
+	}
+	k := int(math.Floor(math.Log(x) / math.Log(h.Base)))
+	h.counts[k]++
+}
+
+// Total returns the number of recorded values.
+func (h *LogHistogram) Total() int64 { return h.total }
+
+// Buckets returns (lowerBound, count) pairs in ascending order.
+func (h *LogHistogram) Buckets() []struct {
+	Lo    float64
+	Count int64
+} {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]struct {
+		Lo    float64
+		Count int64
+	}, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, struct {
+			Lo    float64
+			Count int64
+		}{math.Pow(h.Base, float64(k)), h.counts[k]})
+	}
+	return out
+}
+
+// Render draws an ASCII bar chart of the histogram.
+func (h *LogHistogram) Render(width int) string {
+	if width < 10 {
+		width = 40
+	}
+	bs := h.Buckets()
+	var maxC int64
+	for _, b := range bs {
+		if b.Count > maxC {
+			maxC = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bs {
+		bar := int(float64(width) * float64(b.Count) / float64(maxC))
+		fmt.Fprintf(&sb, "%12.3g | %s %d\n", b.Lo, strings.Repeat("#", bar), b.Count)
+	}
+	return sb.String()
+}
+
+// CDF returns the empirical CDF of data evaluated at the given points.
+func CDF(data, at []float64) []float64 {
+	cp := append([]float64(nil), data...)
+	sort.Float64s(cp)
+	out := make([]float64, len(at))
+	for i, x := range at {
+		out[i] = float64(sort.SearchFloat64s(cp, math.Nextafter(x, math.Inf(1)))) / float64(len(cp))
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Demo", "name", "value")
+	t.AddRow("alpha", 1.5)
+	t.AddRow("beta, gamma", 2)
+	t.AddNote("generated for tests")
+	return t
+}
+
+func TestText(t *testing.T) {
+	out := sample().Text()
+	for _, want := range []string{"Demo", "name", "alpha", "1.5", "note: generated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header and row start columns match.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header, row = l, lines[i+2]
+			break
+		}
+	}
+	if strings.Index(header, "value") != strings.Index(row, "1.5") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	if !strings.Contains(out, "### Demo") || !strings.Contains(out, "| name | value |") {
+		t.Fatalf("bad markdown:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Fatal("missing separator row")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"beta, gamma"`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("bad header: %s", out)
+	}
+}
+
+func TestCellFormats(t *testing.T) {
+	if Cell(1.23456789) != "1.235" {
+		t.Fatalf("float cell = %q", Cell(1.23456789))
+	}
+	if Cell(42) != "42" {
+		t.Fatalf("int cell = %q", Cell(42))
+	}
+	if Cell("x") != "x" {
+		t.Fatalf("string cell = %q", Cell("x"))
+	}
+}
+
+func TestQuoteEscaping(t *testing.T) {
+	tb := New("q", "a")
+	tb.AddRow(`say "hi"`)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"say ""hi"""`) {
+		t.Fatalf("quotes not escaped: %s", buf.String())
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tb := New("p", "col")
+	tb.AddRow("|x| = 1")
+	out := tb.Markdown()
+	if !strings.Contains(out, `\|x\| = 1`) {
+		t.Fatalf("pipes not escaped:\n%s", out)
+	}
+}

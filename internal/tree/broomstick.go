@@ -1,0 +1,139 @@
+package tree
+
+import "fmt"
+
+// Broomstick is the result of the Section 3.3 reduction: the reduced
+// tree T' together with the leaf correspondence back to the original
+// tree T. In T', every root branch is a "broomstick": a handle path of
+// identical routers with the original leaves re-attached as bristles,
+// one level below their original depth (total depth increase of
+// exactly 2 per leaf).
+type Broomstick struct {
+	// Reduced is T', the broomstick tree.
+	Reduced *Tree
+	// Original is the tree the reduction was applied to.
+	Original *Tree
+	// ToOriginal maps a leaf of Reduced to the corresponding leaf of
+	// Original, indexed by Reduced leaf index.
+	ToOriginal []NodeID
+	// ToReduced maps a leaf of Original to the corresponding leaf of
+	// Reduced, indexed by Original leaf index.
+	ToReduced []NodeID
+}
+
+// IsBroomstick reports whether t already has broomstick shape: under
+// every root-adjacent node there is a single path of routers (the
+// handle), and every non-handle node is a leaf hanging off the handle.
+func IsBroomstick(t *Tree) bool {
+	for _, r := range t.RootAdjacent() {
+		v := r
+		for {
+			var routerChildren []NodeID
+			for _, c := range t.Children(v) {
+				if !t.IsLeaf(c) {
+					routerChildren = append(routerChildren, c)
+				}
+			}
+			if len(routerChildren) > 1 {
+				return false
+			}
+			if len(routerChildren) == 0 {
+				break
+			}
+			v = routerChildren[0]
+		}
+	}
+	return true
+}
+
+// Reduce builds the broomstick T' from T following Section 3.3 of the
+// paper. For every node v0 adjacent to the root:
+//
+//   - let ℓ be the number of edges on the longest path from v0 to a
+//     leaf in v0's subtree;
+//   - T' gets a handle of identical routers v0, v1, …, v_{ℓ+1};
+//   - every leaf of T at edge-distance ℓ' from v0 becomes a leaf of T'
+//     attached to handle node v_{ℓ'+1}, so its distance to v0 grows
+//     from ℓ' to ℓ'+2 — an increase of exactly 2, as the paper notes.
+//
+// In the identical setting the new leaf is an identical node; in the
+// unrelated setting it keeps the original leaf's processing times
+// (the leaf correspondence maps per-leaf sizes across).
+//
+// Speeds: handle routers inherit v0's subtree router speed choice via
+// the speed arguments of WithSpeeds applied afterwards by callers;
+// Reduce itself copies speed 1 everywhere except that each reduced
+// leaf inherits the speed of its original leaf, so related-machine
+// setups survive the reduction.
+func Reduce(t *Tree) (*Broomstick, error) {
+	b := NewBuilder()
+	toOriginal := make(map[NodeID]NodeID) // reduced leaf -> original leaf
+	for _, v0 := range t.RootAdjacent() {
+		// Longest edge-distance from v0 to a leaf in its subtree.
+		ell := 0
+		leaves := t.SubtreeLeaves(v0)
+		if len(leaves) == 0 {
+			return nil, fmt.Errorf("tree: root branch %d has no leaves", v0)
+		}
+		for _, lf := range leaves {
+			d := t.Depth(lf) - t.Depth(v0)
+			if d > ell {
+				ell = d
+			}
+		}
+		// Handle nodes v_0 … v_{ℓ+1}. v_0 is root-adjacent.
+		handle := make([]NodeID, ell+2)
+		handle[0] = b.AddRouter(b.Root())
+		b.SetLabel(handle[0], fmt.Sprintf("h%d.0", v0))
+		for i := 1; i <= ell+1; i++ {
+			handle[i] = b.AddRouter(handle[i-1])
+			b.SetLabel(handle[i], fmt.Sprintf("h%d.%d", v0, i))
+		}
+		for _, lf := range leaves {
+			d := t.Depth(lf) - t.Depth(v0) // ℓ' in [1, ℓ]
+			nl := b.AddLeaf(handle[d+1])
+			b.SetSpeed(nl, t.Speed(lf))
+			b.SetLabel(nl, fmt.Sprintf("leaf%d'", lf))
+			toOriginal[nl] = lf
+		}
+	}
+	reduced, err := b.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	bs := &Broomstick{
+		Reduced:    reduced,
+		Original:   t,
+		ToOriginal: make([]NodeID, len(reduced.Leaves())),
+		ToReduced:  make([]NodeID, len(t.Leaves())),
+	}
+	for i := range bs.ToReduced {
+		bs.ToReduced[i] = None
+	}
+	for _, rl := range reduced.Leaves() {
+		ol := toOriginal[rl]
+		bs.ToOriginal[reduced.LeafIndex(rl)] = ol
+		bs.ToReduced[t.LeafIndex(ol)] = rl
+	}
+	for i, rl := range bs.ToReduced {
+		if rl == None {
+			return nil, fmt.Errorf("tree: original leaf index %d lost in reduction", i)
+		}
+	}
+	return bs, nil
+}
+
+// MapLeafSizes translates per-original-leaf processing times into the
+// reduced tree's leaf index order, so the same unrelated-endpoint job
+// can be run on T'.
+func (bs *Broomstick) MapLeafSizes(orig []float64) []float64 {
+	if orig == nil {
+		return nil
+	}
+	out := make([]float64, len(bs.Reduced.Leaves()))
+	for ri := range out {
+		ol := bs.ToOriginal[ri]
+		out[ri] = orig[bs.Original.LeafIndex(ol)]
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package tree
+
+import (
+	"fmt"
+
+	"treesched/internal/rng"
+)
+
+// FatTree builds a complete k-ary tree of the given router depth with
+// fanout leaves under every bottom router. depth is the number of
+// router levels below the root (depth >= 1); every leaf ends up at
+// tree depth depth+1. This is the classic data-center topology the
+// paper's introduction cites (Al-Fares et al.).
+func FatTree(arity, depth, leavesPerRouter int) *Tree {
+	if arity < 1 || depth < 1 || leavesPerRouter < 1 {
+		panic("tree: FatTree requires positive arity, depth and leavesPerRouter")
+	}
+	b := NewBuilder()
+	frontier := []NodeID{b.Root()}
+	for level := 0; level < depth; level++ {
+		var next []NodeID
+		for _, p := range frontier {
+			for i := 0; i < arity; i++ {
+				next = append(next, b.AddRouter(p))
+			}
+		}
+		frontier = next
+	}
+	for _, p := range frontier {
+		for i := 0; i < leavesPerRouter; i++ {
+			b.AddLeaf(p)
+		}
+	}
+	return b.MustFinalize()
+}
+
+// BroomstickTree builds a tree that is already a broomstick: branches
+// root branches, each with a handle of handleLen routers and
+// leavesPerLevel leaves hanging from every handle node after the first.
+func BroomstickTree(branches, handleLen, leavesPerLevel int) *Tree {
+	if branches < 1 || handleLen < 2 || leavesPerLevel < 1 {
+		panic("tree: BroomstickTree requires branches>=1, handleLen>=2, leavesPerLevel>=1")
+	}
+	b := NewBuilder()
+	for bi := 0; bi < branches; bi++ {
+		v := b.AddRouter(b.Root())
+		for h := 1; h < handleLen; h++ {
+			v = b.AddRouter(v)
+			for l := 0; l < leavesPerLevel; l++ {
+				b.AddLeaf(v)
+			}
+		}
+	}
+	return b.MustFinalize()
+}
+
+// Line builds a path of length n routers ending in a single leaf: the
+// line-network special case studied by Antoniadis et al. (LATIN 2014)
+// that the paper's related work discusses.
+func Line(routers int) *Tree {
+	if routers < 1 {
+		panic("tree: Line requires at least one router")
+	}
+	b := NewBuilder()
+	v := b.AddRouter(b.Root())
+	for i := 1; i < routers; i++ {
+		v = b.AddRouter(v)
+	}
+	b.AddLeaf(v)
+	return b.MustFinalize()
+}
+
+// Star builds a two-level topology: one relay router under the root
+// with n leaf machines attached — the "bus" special case the paper
+// mentions (off-site data routed along a shared link to machines).
+func Star(leaves int) *Tree {
+	if leaves < 1 {
+		panic("tree: Star requires at least one leaf")
+	}
+	b := NewBuilder()
+	relay := b.AddRouter(b.Root())
+	for i := 0; i < leaves; i++ {
+		b.AddLeaf(relay)
+	}
+	return b.MustFinalize()
+}
+
+// Caterpillar builds a spine of routers with leaves attached at every
+// spine node, a worst-case-ish shape for congestion interactions.
+func Caterpillar(spine, leavesPerSpine int) *Tree {
+	if spine < 1 || leavesPerSpine < 1 {
+		panic("tree: Caterpillar requires positive spine and leavesPerSpine")
+	}
+	b := NewBuilder()
+	v := b.AddRouter(b.Root())
+	for i := 0; i < spine; i++ {
+		for l := 0; l < leavesPerSpine; l++ {
+			b.AddLeaf(v)
+		}
+		if i != spine-1 {
+			v = b.AddRouter(v)
+		}
+	}
+	return b.MustFinalize()
+}
+
+// RandomConfig controls Random tree generation.
+type RandomConfig struct {
+	Branches    int // number of root-adjacent routers (>=1)
+	MaxDepth    int // maximum node depth (>=2 so leaves are legal)
+	MaxChildren int // maximum children per router (>=1)
+	LeafProb    float64
+}
+
+// Random builds a random valid tree: every router eventually leads to
+// at least one leaf, no leaf is adjacent to the root.
+func Random(r *rng.Rand, cfg RandomConfig) *Tree {
+	if cfg.Branches < 1 || cfg.MaxDepth < 2 || cfg.MaxChildren < 1 {
+		panic(fmt.Sprintf("tree: invalid RandomConfig %+v", cfg))
+	}
+	if cfg.LeafProb <= 0 || cfg.LeafProb > 1 {
+		cfg.LeafProb = 0.4
+	}
+	b := NewBuilder()
+	var grow func(parent NodeID, depth int)
+	grow = func(parent NodeID, depth int) {
+		kids := 1 + r.Intn(cfg.MaxChildren)
+		madeLeaf := false
+		for i := 0; i < kids; i++ {
+			// Force a leaf at max depth; otherwise flip a biased coin.
+			if depth+1 >= cfg.MaxDepth || r.Bool(cfg.LeafProb) {
+				b.AddLeaf(parent)
+				madeLeaf = true
+			} else {
+				grow(b.AddRouter(parent), depth+1)
+			}
+		}
+		// Routers must lead to machines: nothing to fix if a child
+		// subtree exists, since grow always terminates in leaves.
+		_ = madeLeaf
+	}
+	for i := 0; i < cfg.Branches; i++ {
+		grow(b.AddRouter(b.Root()), 1)
+	}
+	return b.MustFinalize()
+}

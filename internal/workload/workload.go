@@ -1,0 +1,488 @@
+// Package workload defines the job model of the tree network
+// scheduling problem and generators for the arrival/size processes
+// used by the experiments: Poisson and bursty arrivals, uniform,
+// bimodal, Pareto-tailed and class-rounded size distributions, and
+// unrelated-endpoint per-leaf processing times. Traces serialize to
+// JSON for record/replay.
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"treesched/internal/rng"
+)
+
+// Job is a unit of work arriving online at the root of the network.
+type Job struct {
+	// ID is a dense index, unique within a trace, used to break ties.
+	ID int
+	// Release is the arrival time r_j at the root.
+	Release float64
+	// Size is p_j: the processing requirement on every router, and on
+	// every leaf too in the identical setting.
+	Size float64
+	// LeafSizes, when non-nil, holds p_{j,v} for every leaf machine,
+	// indexed by the tree's leaf index (unrelated endpoint setting).
+	// When nil the job is identical: every leaf needs Size.
+	LeafSizes []float64
+	// Weight is the job's importance for the weighted flow-time
+	// objective (zero means 1). The paper studies the unweighted
+	// objective; weights power the X3 extension experiment.
+	Weight float64
+	// Origin optionally names a non-root release node for the
+	// arbitrary-origin extension (experiment X1). Zero means the root.
+	Origin int32
+}
+
+// LeafSize returns the processing requirement of the job on the leaf
+// with the given leaf index.
+func (j *Job) LeafSize(leafIndex int) float64 {
+	if j.LeafSizes == nil {
+		return j.Size
+	}
+	return j.LeafSizes[leafIndex]
+}
+
+// Unrelated reports whether the job carries per-leaf sizes.
+func (j *Job) Unrelated() bool { return j.LeafSizes != nil }
+
+// EffectiveWeight returns the job's weight, defaulting to 1.
+func (j *Job) EffectiveWeight() float64 {
+	if j.Weight <= 0 {
+		return 1
+	}
+	return j.Weight
+}
+
+// AssignWeights draws integer weights in [1, maxWeight] for every job
+// in the trace (the weighted flow-time extension).
+func AssignWeights(r *rng.Rand, tr *Trace, maxWeight int) {
+	if maxWeight < 1 {
+		panic("workload: AssignWeights needs maxWeight >= 1")
+	}
+	for i := range tr.Jobs {
+		tr.Jobs[i].Weight = float64(1 + r.Intn(maxWeight))
+	}
+}
+
+// Validate checks that the job is well formed.
+func (j *Job) Validate() error {
+	if j.Size <= 0 {
+		return fmt.Errorf("workload: job %d has non-positive size %v", j.ID, j.Size)
+	}
+	if j.Release < 0 || math.IsNaN(j.Release) || math.IsInf(j.Release, 0) {
+		return fmt.Errorf("workload: job %d has invalid release %v", j.ID, j.Release)
+	}
+	for li, s := range j.LeafSizes {
+		if s <= 0 {
+			return fmt.Errorf("workload: job %d has non-positive size %v on leaf index %d", j.ID, s, li)
+		}
+	}
+	return nil
+}
+
+// Trace is an ordered job sequence (ascending release times).
+type Trace struct {
+	Jobs []Job
+	// Meta records how the trace was generated, for reproducibility.
+	Meta map[string]string
+}
+
+// Validate checks ordering, ID density and per-job validity.
+func (tr *Trace) Validate() error {
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.ID != i {
+			return fmt.Errorf("workload: job at position %d has ID %d (IDs must be dense)", i, j.ID)
+		}
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if i > 0 && j.Release < tr.Jobs[i-1].Release {
+			return fmt.Errorf("workload: releases not sorted at position %d", i)
+		}
+	}
+	return nil
+}
+
+// TotalWork returns the sum of router sizes of all jobs.
+func (tr *Trace) TotalWork() float64 {
+	var s float64
+	for i := range tr.Jobs {
+		s += tr.Jobs[i].Size
+	}
+	return s
+}
+
+// Span returns the release time of the last job (0 for empty traces).
+func (tr *Trace) Span() float64 {
+	if len(tr.Jobs) == 0 {
+		return 0
+	}
+	return tr.Jobs[len(tr.Jobs)-1].Release
+}
+
+// WriteJSON serializes the trace.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}
+
+// ReadJSON parses a trace previously written with WriteJSON and
+// validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// SizeDist draws job sizes.
+type SizeDist interface {
+	Sample(r *rng.Rand) float64
+	// Mean returns the distribution's expectation, used to calibrate
+	// arrival rates to a target load factor.
+	Mean() float64
+	Name() string
+}
+
+// UniformSize draws sizes uniformly from [Lo, Hi).
+type UniformSize struct{ Lo, Hi float64 }
+
+func (u UniformSize) Sample(r *rng.Rand) float64 { return r.Range(u.Lo, u.Hi) }
+func (u UniformSize) Mean() float64              { return (u.Lo + u.Hi) / 2 }
+func (u UniformSize) Name() string               { return fmt.Sprintf("uniform[%g,%g)", u.Lo, u.Hi) }
+
+// BimodalSize mixes small and large jobs: with probability PBig the
+// size is Big, otherwise Small. This is the classic elephants-and-mice
+// traffic mix of data center workloads.
+type BimodalSize struct {
+	Small, Big float64
+	PBig       float64
+}
+
+func (b BimodalSize) Sample(r *rng.Rand) float64 {
+	if r.Bool(b.PBig) {
+		return b.Big
+	}
+	return b.Small
+}
+func (b BimodalSize) Mean() float64 { return b.PBig*b.Big + (1-b.PBig)*b.Small }
+func (b BimodalSize) Name() string {
+	return fmt.Sprintf("bimodal(%g|%g,p=%g)", b.Small, b.Big, b.PBig)
+}
+
+// ParetoSize draws heavy-tailed sizes, truncated at Cap to keep
+// simulations finite. Alpha in (1,2] gives finite mean, infinite-ish
+// variance — the regime where size-aware policies matter most.
+type ParetoSize struct {
+	Min, Alpha, Cap float64
+}
+
+func (p ParetoSize) Sample(r *rng.Rand) float64 {
+	v := r.Pareto(p.Min, p.Alpha)
+	if p.Cap > 0 && v > p.Cap {
+		v = p.Cap
+	}
+	return v
+}
+
+func (p ParetoSize) Mean() float64 {
+	if p.Alpha <= 1 {
+		return p.Cap // truncated mean dominated by the cap
+	}
+	m := p.Min * p.Alpha / (p.Alpha - 1)
+	if p.Cap > 0 && m > p.Cap {
+		m = p.Cap
+	}
+	return m
+}
+func (p ParetoSize) Name() string { return fmt.Sprintf("pareto(min=%g,a=%g)", p.Min, p.Alpha) }
+
+// ClassRounded wraps a distribution and rounds every sample up to the
+// nearest power of (1+Eps), matching the paper's WLOG assumption that
+// job sizes are powers of (1+ε). The Lemma validators require this.
+type ClassRounded struct {
+	Base SizeDist
+	Eps  float64
+}
+
+func (c ClassRounded) Sample(r *rng.Rand) float64 {
+	return RoundToClass(c.Base.Sample(r), c.Eps)
+}
+func (c ClassRounded) Mean() float64 { return c.Base.Mean() } // approximation; within (1+Eps)
+func (c ClassRounded) Name() string  { return fmt.Sprintf("class(%s,eps=%g)", c.Base.Name(), c.Eps) }
+
+// RoundToClass rounds size up to the nearest (1+eps)^k, k integer.
+func RoundToClass(size, eps float64) float64 {
+	if size <= 0 {
+		panic("workload: RoundToClass of non-positive size")
+	}
+	if eps <= 0 {
+		panic("workload: RoundToClass with non-positive eps")
+	}
+	k := math.Ceil(math.Log(size) / math.Log(1+eps))
+	v := math.Pow(1+eps, k)
+	// Guard against floating error putting v just below size.
+	for v < size {
+		v *= 1 + eps
+	}
+	return v
+}
+
+// ClassOf returns the class index k with (1+eps)^k == size (rounded).
+func ClassOf(size, eps float64) int {
+	return int(math.Round(math.Log(size) / math.Log(1+eps)))
+}
+
+// GenConfig configures the trace generators.
+type GenConfig struct {
+	N    int      // number of jobs
+	Size SizeDist // router size distribution
+	// Load is the target utilization of the most contended resource.
+	// For Poisson generation, the arrival rate is calibrated as
+	// Load*Capacity/E[Size] where Capacity is supplied by the caller
+	// (e.g. number of root branches for trees, 1 for a line).
+	Load     float64
+	Capacity float64
+}
+
+func (c *GenConfig) validate() error {
+	if c.N <= 0 {
+		return errors.New("workload: N must be positive")
+	}
+	if c.Size == nil {
+		return errors.New("workload: Size distribution required")
+	}
+	if c.Load <= 0 {
+		return errors.New("workload: Load must be positive")
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1
+	}
+	return nil
+}
+
+// Poisson generates N jobs with exponential interarrival times
+// calibrated so that the offered load on a capacity-Capacity resource
+// is Load. Release times are strictly increasing (paper WLOG: all
+// arrivals distinct).
+func Poisson(r *rng.Rand, cfg GenConfig) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rate := cfg.Load * cfg.Capacity / cfg.Size.Mean()
+	tr := &Trace{Meta: map[string]string{
+		"process": "poisson",
+		"size":    cfg.Size.Name(),
+		"load":    fmt.Sprintf("%g", cfg.Load),
+	}}
+	t := 0.0
+	for i := 0; i < cfg.N; i++ {
+		t += r.Exp(rate)
+		tr.Jobs = append(tr.Jobs, Job{ID: i, Release: t, Size: cfg.Size.Sample(r)})
+	}
+	return tr, nil
+}
+
+// Bursty generates jobs in bursts: burst starts form a Poisson process
+// and each burst releases BurstLen jobs back-to-back (separated by a
+// tiny jitter to keep arrival times distinct). This stresses the
+// congestion-awareness of assignment policies.
+func Bursty(r *rng.Rand, cfg GenConfig, burstLen int) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if burstLen < 1 {
+		return nil, errors.New("workload: burstLen must be >= 1")
+	}
+	rate := cfg.Load * cfg.Capacity / cfg.Size.Mean() / float64(burstLen)
+	tr := &Trace{Meta: map[string]string{
+		"process": fmt.Sprintf("bursty(%d)", burstLen),
+		"size":    cfg.Size.Name(),
+		"load":    fmt.Sprintf("%g", cfg.Load),
+	}}
+	t, id := 0.0, 0
+	for id < cfg.N {
+		t += r.Exp(rate)
+		for b := 0; b < burstLen && id < cfg.N; b++ {
+			// Distinct arrival times, per the paper's WLOG assumption.
+			t += 1e-9
+			tr.Jobs = append(tr.Jobs, Job{ID: id, Release: t, Size: cfg.Size.Sample(r)})
+			id++
+		}
+	}
+	return tr, nil
+}
+
+// Adversarial generates the pattern that separates congestion-aware
+// assignment from proximity-based assignment: a steady trickle of
+// large jobs plus periodic floods of small jobs, all of which conflict
+// on the same root branch if assigned naively.
+func Adversarial(r *rng.Rand, n int, bigSize float64) *Trace {
+	tr := &Trace{Meta: map[string]string{"process": "adversarial"}}
+	t := 0.0
+	id := 0
+	for id < n {
+		// One big job ...
+		t += 1e-9
+		tr.Jobs = append(tr.Jobs, Job{ID: id, Release: t, Size: bigSize})
+		id++
+		// ... followed by a flood of unit jobs before it can drain.
+		flood := int(bigSize / 2)
+		for f := 0; f < flood && id < n; f++ {
+			t += 1e-9
+			tr.Jobs = append(tr.Jobs, Job{ID: id, Release: t, Size: 1})
+			id++
+		}
+		t += bigSize / 4
+	}
+	return tr
+}
+
+// UnrelatedConfig controls per-leaf processing time generation.
+type UnrelatedConfig struct {
+	Leaves int
+	// SpeedRange draws an affinity factor f in [Lo,Hi); the leaf size
+	// is Size*f. Hi/Lo therefore bounds how "unrelated" machines are.
+	Lo, Hi float64
+	// PInfeasible is the probability that a leaf is effectively
+	// incompatible with the job: its size is multiplied by Penalty.
+	PInfeasible float64
+	Penalty     float64
+}
+
+// MakeUnrelated fills in per-leaf sizes for every job in the trace,
+// mutating it. Identical traces become unrelated-endpoint traces.
+func MakeUnrelated(r *rng.Rand, tr *Trace, cfg UnrelatedConfig) error {
+	if cfg.Leaves <= 0 {
+		return errors.New("workload: UnrelatedConfig.Leaves must be positive")
+	}
+	if cfg.Lo <= 0 || cfg.Hi <= cfg.Lo {
+		return errors.New("workload: UnrelatedConfig requires 0 < Lo < Hi")
+	}
+	if cfg.Penalty == 0 {
+		cfg.Penalty = 10
+	}
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		j.LeafSizes = make([]float64, cfg.Leaves)
+		for li := range j.LeafSizes {
+			f := r.Range(cfg.Lo, cfg.Hi)
+			if cfg.PInfeasible > 0 && r.Bool(cfg.PInfeasible) {
+				f *= cfg.Penalty
+			}
+			j.LeafSizes[li] = j.Size * f
+		}
+	}
+	if tr.Meta == nil {
+		tr.Meta = map[string]string{}
+	}
+	tr.Meta["endpoints"] = fmt.Sprintf("unrelated[%g,%g)", cfg.Lo, cfg.Hi)
+	return nil
+}
+
+// MakeRelated fills per-leaf sizes from fixed machine speeds: leaf i
+// processes every job at speed leafSpeeds[i], so p_{j,i} = p_j/s_i —
+// the related machines model of the paper's introduction, expressed
+// as a special case of unrelated endpoints.
+func MakeRelated(tr *Trace, leafSpeeds []float64) error {
+	if len(leafSpeeds) == 0 {
+		return errors.New("workload: MakeRelated needs at least one leaf speed")
+	}
+	for _, s := range leafSpeeds {
+		if s <= 0 {
+			return fmt.Errorf("workload: non-positive leaf speed %v", s)
+		}
+	}
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		j.LeafSizes = make([]float64, len(leafSpeeds))
+		for li, s := range leafSpeeds {
+			j.LeafSizes[li] = j.Size / s
+		}
+	}
+	if tr.Meta == nil {
+		tr.Meta = map[string]string{}
+	}
+	tr.Meta["endpoints"] = "related"
+	return nil
+}
+
+// RoundTraceToClasses rounds every size in the trace (router and leaf)
+// up to powers of (1+eps), in place.
+func RoundTraceToClasses(tr *Trace, eps float64) {
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		j.Size = RoundToClass(j.Size, eps)
+		for li := range j.LeafSizes {
+			j.LeafSizes[li] = RoundToClass(j.LeafSizes[li], eps)
+		}
+	}
+}
+
+// TraceStats summarizes a trace's shape for logging and sanity
+// checks.
+type TraceStats struct {
+	Jobs          int
+	TotalWork     float64
+	Span          float64
+	MeanSize      float64
+	MaxSize       float64
+	MeanInterval  float64
+	Unrelated     bool
+	Weighted      bool
+	OfferedPerSec float64 // TotalWork / Span
+}
+
+// Stats computes TraceStats.
+func (tr *Trace) Stats() TraceStats {
+	st := TraceStats{Jobs: len(tr.Jobs), TotalWork: tr.TotalWork(), Span: tr.Span()}
+	if st.Jobs == 0 {
+		return st
+	}
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		st.MeanSize += j.Size
+		if j.Size > st.MaxSize {
+			st.MaxSize = j.Size
+		}
+		if j.LeafSizes != nil {
+			st.Unrelated = true
+		}
+		if j.Weight > 0 && j.Weight != 1 {
+			st.Weighted = true
+		}
+	}
+	st.MeanSize /= float64(st.Jobs)
+	if st.Jobs > 1 {
+		st.MeanInterval = st.Span / float64(st.Jobs-1)
+	}
+	if st.Span > 0 {
+		st.OfferedPerSec = st.TotalWork / st.Span
+	}
+	return st
+}
+
+// Sorted returns a copy of the trace sorted by release time with IDs
+// reassigned densely. Generators already emit sorted traces; this is
+// for hand-built test traces.
+func Sorted(jobs []Job) *Trace {
+	cp := make([]Job, len(jobs))
+	copy(cp, jobs)
+	sort.SliceStable(cp, func(a, b int) bool { return cp[a].Release < cp[b].Release })
+	for i := range cp {
+		cp[i].ID = i
+	}
+	return &Trace{Jobs: cp}
+}

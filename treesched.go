@@ -1,0 +1,216 @@
+package treesched
+
+import (
+	"treesched/internal/core"
+	"treesched/internal/lowerbound"
+	"treesched/internal/rng"
+	"treesched/internal/sched"
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// Topology types and constructors.
+type (
+	// Tree is a rooted tree network (root = distribution center,
+	// interior routers, leaf machines).
+	Tree = tree.Tree
+	// NodeID identifies a node within a Tree.
+	NodeID = tree.NodeID
+	// Builder constructs custom topologies.
+	Builder = tree.Builder
+	// Broomstick is the Section 3.3 reduction result.
+	Broomstick = tree.Broomstick
+)
+
+// NewBuilder starts a custom topology (root pre-created).
+func NewBuilder() *Builder { return tree.NewBuilder() }
+
+// FatTree builds a complete arity-ary router tree of the given depth
+// with leavesPerRouter machines under each bottom router.
+func FatTree(arity, depth, leavesPerRouter int) *Tree {
+	return tree.FatTree(arity, depth, leavesPerRouter)
+}
+
+// Star builds one relay router with n machines — the bus topology.
+func Star(leaves int) *Tree { return tree.Star(leaves) }
+
+// Line builds a path of routers ending in one machine.
+func Line(routers int) *Tree { return tree.Line(routers) }
+
+// Caterpillar builds a router spine with machines at every level.
+func Caterpillar(spine, leavesPerSpine int) *Tree {
+	return tree.Caterpillar(spine, leavesPerSpine)
+}
+
+// BroomstickTree builds a tree that is already in broomstick form.
+func BroomstickTree(branches, handleLen, leavesPerLevel int) *Tree {
+	return tree.BroomstickTree(branches, handleLen, leavesPerLevel)
+}
+
+// Reduce applies the paper's tree-to-broomstick reduction.
+func Reduce(t *Tree) (*Broomstick, error) { return tree.Reduce(t) }
+
+// Workload types and generators.
+type (
+	// Job is one unit of work (release time, router size, optional
+	// per-leaf sizes for the unrelated-endpoint setting).
+	Job = workload.Job
+	// Trace is an ordered job sequence.
+	Trace = workload.Trace
+	// SizeDist draws job sizes.
+	SizeDist = workload.SizeDist
+	// UniformSize, BimodalSize, ParetoSize and ClassRounded are the
+	// built-in size distributions.
+	UniformSize  = workload.UniformSize
+	BimodalSize  = workload.BimodalSize
+	ParetoSize   = workload.ParetoSize
+	ClassRounded = workload.ClassRounded
+)
+
+// PoissonTrace generates n jobs with Poisson arrivals calibrated to
+// the given load on t's root-adjacent capacity, with sizes rounded to
+// powers of 1.5 (the paper's class assumption at eps=0.5).
+func PoissonTrace(seed uint64, n int, load float64, t *Tree) (*Trace, error) {
+	return workload.Poisson(rng.New(seed), workload.GenConfig{
+		N:        n,
+		Size:     workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 16}, Eps: 0.5},
+		Load:     load,
+		Capacity: float64(len(t.RootAdjacent())),
+	})
+}
+
+// MakeUnrelated converts an identical trace into an unrelated-endpoint
+// trace with per-leaf affinity factors drawn from [lo, hi).
+func MakeUnrelated(seed uint64, tr *Trace, t *Tree, lo, hi float64) error {
+	return workload.MakeUnrelated(rng.New(seed), tr, workload.UnrelatedConfig{
+		Leaves: len(t.Leaves()), Lo: lo, Hi: hi,
+	})
+}
+
+// Engine types.
+type (
+	// Options configures a simulation run.
+	Options = sim.Options
+	// Result is a completed run.
+	Result = sim.Result
+	// Stats summarizes a run.
+	Stats = sim.Stats
+	// Policy orders jobs on a node; Assigner picks the leaf.
+	Policy   = sim.Policy
+	Assigner = sim.Assigner
+	// Arrival is the assigner's view of an arriving job.
+	Arrival = sim.Arrival
+	// Query is the read-only engine state view given to assigners.
+	Query = sim.Query
+)
+
+// Node policies.
+type (
+	// SJF is Shortest-Job-First, the paper's node policy.
+	SJF = sim.SJF
+	// FIFO, SRPT and LCFS are the baseline node policies; WSJF
+	// (highest density first) serves the weighted flow-time extension.
+	FIFO = sim.FIFO
+	SRPT = sim.SRPT
+	LCFS = sim.LCFS
+	WSJF = sim.WSJF
+	// PS is egalitarian processor sharing (fair-queueing routers).
+	PS = sim.PS
+)
+
+// AssignWeights draws integer weights in [1, maxWeight] for every job
+// (the weighted flow-time extension; see Stats.WeightedFlow).
+func AssignWeights(seed uint64, tr *Trace, maxWeight int) {
+	workload.AssignWeights(rng.New(seed), tr, maxWeight)
+}
+
+// Run simulates a trace on a tree with the given leaf assigner.
+func Run(t *Tree, tr *Trace, asg Assigner, opts Options) (*Result, error) {
+	return sim.Run(t, tr, asg, opts)
+}
+
+// RunPacketized simulates with unit-packet forwarding (Section 2's
+// pipelined variant).
+func RunPacketized(t *Tree, tr *Trace, asg Assigner, opts Options) (*Result, error) {
+	return sim.RunPacketized(t, tr, asg, opts)
+}
+
+// The paper's algorithms (package core).
+type (
+	// GreedyIdentical and GreedyUnrelated are the Sections 3.4-3.6
+	// assignment rules; Shadow is the Section 3.7 general-tree
+	// algorithm driven by a broomstick co-simulation.
+	GreedyIdentical = core.GreedyIdentical
+	GreedyUnrelated = core.GreedyUnrelated
+	Shadow          = core.Shadow
+	ShadowConfig    = core.ShadowConfig
+)
+
+// NewGreedyIdentical builds the identical-endpoint greedy rule with
+// analysis parameter eps.
+func NewGreedyIdentical(eps float64) *GreedyIdentical {
+	return core.NewGreedyIdentical(eps)
+}
+
+// NewGreedyUnrelated builds the unrelated-endpoint greedy rule.
+func NewGreedyUnrelated(eps float64) *GreedyUnrelated {
+	return core.NewGreedyUnrelated(eps)
+}
+
+// NewShadow builds the general-tree algorithm: a broomstick
+// co-simulation whose leaf choices are copied onto the real tree.
+func NewShadow(t *Tree, cfg ShadowConfig) (*Shadow, error) {
+	return core.NewShadow(t, cfg)
+}
+
+// Baseline assigners (package sched).
+type (
+	ClosestLeaf       = sched.ClosestLeaf
+	RandomLeaf        = sched.RandomLeaf
+	RoundRobin        = sched.RoundRobin
+	LeastVolume       = sched.LeastVolume
+	MinPathWork       = sched.MinPathWork
+	JoinShortestQueue = sched.JoinShortestQueue
+)
+
+// NewRandomLeaf builds the uniform-random baseline with its own seed.
+func NewRandomLeaf(seed uint64) *RandomLeaf {
+	return &sched.RandomLeaf{R: rng.New(seed)}
+}
+
+// OPTLowerBound returns the best valid combinatorial lower bound on
+// the optimal (speed-1) total flow time of the instance. Dividing a
+// run's total flow by it upper-bounds the competitive ratio.
+func OPTLowerBound(t *Tree, tr *Trace) float64 {
+	return lowerbound.Best(t, tr)
+}
+
+// Lemma validators (package core), re-exported for instrumented runs.
+type (
+	Lemma1Report  = core.Lemma1Report
+	Lemma2Checker = core.Lemma2Checker
+	Lemma8Report  = core.Lemma8Report
+)
+
+// CheckLemma1 validates the interior waiting bound on an instrumented
+// run.
+func CheckLemma1(res *Result, eps float64, unrelated bool) Lemma1Report {
+	return core.CheckLemma1(res, eps, unrelated)
+}
+
+// CheckLemma8 compares a Shadow-driven run against its broomstick.
+func CheckLemma8(res *Result, sh *Shadow) Lemma8Report {
+	return core.CheckLemma8(res, sh)
+}
+
+// DualFitReport is the result of RunDualFit.
+type DualFitReport = core.DualFitReport
+
+// RunDualFit runs the identical-endpoint greedy algorithm on a
+// broomstick while constructing the paper's Section 3.5 dual solution
+// and checking LP-Dual feasibility numerically; a feasible dual
+// certifies DualObjective/3 as a per-instance lower bound on OPT.
+func RunDualFit(t *Tree, tr *Trace, eps float64) (*DualFitReport, error) {
+	return core.RunDualFit(t, tr, eps)
+}

@@ -1,0 +1,158 @@
+package treesched_test
+
+import (
+	"testing"
+
+	"treesched"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	tr := treesched.FatTree(2, 2, 2)
+	trace, err := treesched.PoissonTrace(1, 300, 0.9, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := treesched.Run(tr, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed != 300 {
+		t.Fatalf("completed %d/300", res.Stats.Completed)
+	}
+	lb := treesched.OPTLowerBound(tr, trace)
+	if lb <= 0 || res.Stats.TotalFlow < lb {
+		t.Fatalf("flow %v vs lower bound %v", res.Stats.TotalFlow, lb)
+	}
+}
+
+func TestFacadeUnrelatedAndShadow(t *testing.T) {
+	tr := treesched.FatTree(2, 1, 3)
+	trace, err := treesched.PoissonTrace(2, 200, 0.8, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treesched.MakeUnrelated(3, trace, tr, 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := treesched.NewShadow(tr, treesched.ShadowConfig{Eps: 0.5, Unrelated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := treesched.Run(tr, trace, sh, treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Finish()
+	rep := treesched.CheckLemma8(res, sh)
+	if rep.Jobs != 200 {
+		t.Fatalf("Lemma8 compared %d jobs", rep.Jobs)
+	}
+}
+
+func TestFacadeLemma1(t *testing.T) {
+	tr := treesched.FatTree(2, 2, 2).WithSpeeds(1, 1.5, 1.5)
+	trace, err := treesched.PoissonTrace(4, 300, 1.0, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := treesched.Run(tr, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := treesched.CheckLemma1(res, 0.5, false)
+	if rep.Violations != 0 {
+		t.Fatalf("Lemma 1 violations via facade: %d", rep.Violations)
+	}
+}
+
+func TestFacadeReduceAndTopologies(t *testing.T) {
+	for _, tr := range []*treesched.Tree{
+		treesched.Star(3), treesched.Line(3), treesched.Caterpillar(3, 2),
+		treesched.BroomstickTree(2, 3, 1), treesched.FatTree(2, 2, 1),
+	} {
+		bs, err := treesched.Reduce(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bs.Reduced.Leaves()) != len(tr.Leaves()) {
+			t.Fatal("reduction lost leaves")
+		}
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	tr := treesched.Star(4)
+	trace, err := treesched.PoissonTrace(5, 150, 0.7, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asg := range []treesched.Assigner{
+		treesched.ClosestLeaf{}, treesched.NewRandomLeaf(7),
+		&treesched.RoundRobin{}, treesched.LeastVolume{},
+		treesched.MinPathWork{}, treesched.JoinShortestQueue{},
+	} {
+		if _, err := treesched.Run(tr, trace, asg, treesched.Options{}); err != nil {
+			t.Fatalf("%s: %v", asg.Name(), err)
+		}
+	}
+}
+
+func TestFacadePacketized(t *testing.T) {
+	tr := treesched.Line(3)
+	trace, err := treesched.PoissonTrace(6, 50, 0.5, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := treesched.Run(tr, trace, treesched.ClosestLeaf{}, treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := treesched.RunPacketized(tr, trace, treesched.ClosestLeaf{}, treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.Stats.TotalFlow > sf.Stats.TotalFlow+1e-6 {
+		t.Fatal("packetized slower than store-and-forward on a line")
+	}
+}
+
+func TestFacadeWeightedAndPS(t *testing.T) {
+	tr := treesched.Star(2)
+	trace, err := treesched.PoissonTrace(8, 200, 0.8, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treesched.AssignWeights(9, trace, 5)
+	wsjf, err := treesched.Run(tr, trace, &treesched.RoundRobin{}, treesched.Options{Policy: treesched.WSJF{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := treesched.Run(tr, trace, &treesched.RoundRobin{}, treesched.Options{Policy: treesched.PS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wsjf.Stats.WeightedFlow <= 0 || ps.Stats.WeightedFlow <= 0 {
+		t.Fatal("weighted flow missing")
+	}
+	if wsjf.Stats.WeightedFlow >= ps.Stats.WeightedFlow {
+		t.Fatal("WSJF should beat PS on the weighted objective")
+	}
+}
+
+func TestFacadeDualFit(t *testing.T) {
+	stick := treesched.BroomstickTree(2, 3, 1)
+	trace, err := treesched.PoissonTrace(10, 150, 0.8, stick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := treesched.RunDualFit(stick, trace, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.C4Violations != 0 || rep.C5Violations != 0 {
+		t.Fatalf("dual infeasible via facade: %+v", rep)
+	}
+	if rep.CertifiedOPTLowerBound <= 0 {
+		t.Fatal("no certificate")
+	}
+}
