@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples clean
+.PHONY: all build vet test test-short test-race bench bench-json ci experiments examples clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,20 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+test-race:
+	$(GO) test -race -short ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the persistent benchmark record (see DESIGN.md §6).
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_1.json
+
+# Everything CI needs: build, vet, race-clean short tests, and a smoke
+# run of the benchmark harness (fast benchtime, throwaway output).
+ci: build vet test-race
+	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_ci.json
 
 # Regenerate EXPERIMENTS.md (sequential so B4 throughput is clean).
 experiments:

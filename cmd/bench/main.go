@@ -1,0 +1,234 @@
+// Command bench is the persistent benchmark harness: it runs a fixed
+// set of engine and experiment kernels through testing.Benchmark and
+// writes the results as machine-readable JSON (BENCH_<schema>.json),
+// so perf regressions show up as diffs rather than folklore.
+//
+// Usage:
+//
+//	bench [-out BENCH_1.json] [-seed 1] [-scale 0.05] [-quick]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// Kernels:
+//
+//	engine/cold        fresh engine per run (sim.Run)
+//	engine/warm        one engine recycled via Sim.Reset + RunOn
+//	engine/instrumented  warm engine with per-hop instrumentation on
+//	experiments/T1     full T1 grid (exercises Sweep fan-out)
+//	experiments/B3     speed-augmentation sweep (exercises Sweep)
+//
+// Engine kernels also report events/sec, computed from the kernel's
+// deterministic event count, so throughput is comparable across
+// machines independently of the workload mix.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+
+	"treesched"
+	"treesched/internal/experiments"
+)
+
+// benchFile is the JSON document written to -out.
+type benchFile struct {
+	Schema     string      `json:"schema"`
+	Go         string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Seed       uint64      `json:"seed"`
+	Scale      float64     `json:"scale"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// kernel is one named benchmark; events is the deterministic number of
+// engine events one iteration processes (0 when not meaningful).
+type kernel struct {
+	name   string
+	events int64
+	fn     func(b *testing.B)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "write JSON results to this file")
+	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
+	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
+	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	testing.Init()
+	flag.Parse()
+
+	benchtime := "1s"
+	if *quick {
+		benchtime = "50ms"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fatal(err)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	kernels, err := buildKernels(*seed, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	doc := benchFile{
+		Schema:     "treesched-bench/1",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Scale:      *scale,
+	}
+	for _, k := range kernels {
+		r := testing.Benchmark(k.fn)
+		line := benchLine{
+			Name:        k.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if k.events > 0 && line.NsPerOp > 0 {
+			line.EventsPerSec = float64(k.events) * 1e9 / line.NsPerOp
+		}
+		doc.Benchmarks = append(doc.Benchmarks, line)
+		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10d allocs/op %12d B/op\n",
+			k.name, line.NsPerOp, line.AllocsPerOp, line.BytesPerOp)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d kernels)\n", *out, len(doc.Benchmarks))
+}
+
+// buildKernels constructs the kernel set. The engine workload is fixed
+// (seed-derived) so one calibration run yields the event count every
+// timed iteration will reproduce.
+func buildKernels(seed uint64, scale float64) ([]kernel, error) {
+	t := treesched.FatTree(2, 2, 2)
+	tr, err := treesched.PoissonTrace(seed+41, 2000, 0.95, t)
+	if err != nil {
+		return nil, err
+	}
+	calib, err := treesched.Run(t, tr, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	events := calib.Stats.Events
+
+	ks := []kernel{
+		{
+			name:   "engine/cold",
+			events: events,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := treesched.Run(t, tr, treesched.NewGreedyIdentical(0.5), treesched.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name:   "engine/warm",
+			events: events,
+			fn: func(b *testing.B) {
+				s := treesched.NewSim(t, treesched.Options{})
+				asg := treesched.NewGreedyIdentical(0.5)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Reset(treesched.Options{})
+					if _, err := treesched.RunOn(s, tr, asg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name:   "engine/instrumented",
+			events: events,
+			fn: func(b *testing.B) {
+				s := treesched.NewSim(t, treesched.Options{Instrument: true})
+				asg := treesched.NewGreedyIdentical(0.5)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Reset(treesched.Options{Instrument: true})
+					if _, err := treesched.RunOn(s, tr, asg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+	for _, id := range []string{"T1", "B3"} {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		ks = append(ks, kernel{
+			name: "experiments/" + id,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, err := e.Run(experiments.Config{Seed: seed, Scale: scale})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(out.Tables) == 0 {
+						b.Fatal("no artifacts")
+					}
+				}
+			},
+		})
+	}
+	return ks, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

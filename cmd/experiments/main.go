@@ -5,6 +5,7 @@
 //
 //	experiments [-run T1,L2] [-seed 1] [-scale 1] [-format md|text]
 //	            [-out EXPERIMENTS.md] [-csv results/] [-parallel N]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With no -run it executes everything in ID order. -out writes a
 // Markdown report (paper-vs-measured); -csv additionally dumps every
@@ -18,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,7 +37,34 @@ func main() {
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS); results are deterministic either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -98,17 +98,17 @@ func (g *GreedyIdentical) Name() string { return "GreedyIdentical" }
 func (g *GreedyIdentical) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
 	g.Cfg.validate()
 	t := q.Tree()
-	fCache := make(map[tree.NodeID]float64, len(t.RootAdjacent()))
+	var fc fCache
 	best := tree.None
 	bestCost := math.Inf(1)
 	for _, v := range eligibleLeaves(q, a) {
 		var cost float64
 		if !g.Cfg.DropVolumeTerm {
 			r := t.Branch(v)
-			f, ok := fCache[r]
+			f, ok := fc.get(r)
 			if !ok {
 				f = F(q, a, v)
-				fCache[r] = f
+				fc.put(r, f)
 			}
 			cost += f
 		}
@@ -120,6 +120,37 @@ func (g *GreedyIdentical) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
 		}
 	}
 	return best
+}
+
+// fCache memoizes F(j,v) per root-adjacent branch during one Assign
+// call. Branch counts are small, so a linear scan over fixed arrays
+// beats a map — and, unlike a map (or an appended slice, whose
+// append-through-pointer defeats escape analysis), it stays entirely
+// on the caller's stack: zero allocations on the per-arrival hot
+// path. On trees with more root branches than the arrays hold the
+// cache simply stops memoizing; F is then recomputed per leaf, which
+// is correct, just slower.
+type fCache struct {
+	n    int
+	keys [16]tree.NodeID
+	vals [16]float64
+}
+
+func (c *fCache) get(r tree.NodeID) (float64, bool) {
+	for i := 0; i < c.n; i++ {
+		if c.keys[i] == r {
+			return c.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+func (c *fCache) put(r tree.NodeID, f float64) {
+	if c.n < len(c.keys) {
+		c.keys[c.n] = r
+		c.vals[c.n] = f
+		c.n++
+	}
 }
 
 // Cost exposes the rule's objective for a candidate leaf (used by the
@@ -151,17 +182,17 @@ func (g *GreedyUnrelated) Name() string { return "GreedyUnrelated" }
 func (g *GreedyUnrelated) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
 	g.Cfg.validate()
 	t := q.Tree()
-	fCache := make(map[tree.NodeID]float64, len(t.RootAdjacent()))
+	var fc fCache
 	best := tree.None
 	bestCost := math.Inf(1)
 	for _, v := range eligibleLeaves(q, a) {
 		var cost float64
 		if !g.Cfg.DropVolumeTerm {
 			r := t.Branch(v)
-			f, ok := fCache[r]
+			f, ok := fc.get(r)
 			if !ok {
 				f = F(q, a, v)
-				fCache[r] = f
+				fc.put(r, f)
 			}
 			cost += f + FPrime(q, a, v)
 		}

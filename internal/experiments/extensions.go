@@ -27,12 +27,21 @@ func runX3(cfg Config) (*Output, error) {
 	r := cfg.rng(1900)
 	trace := poisson(r, n, classSizes(0.5), 0.9, float64(len(base.RootAdjacent())))
 	workload.AssignWeights(r, trace, 10)
-	for _, pol := range []sim.Policy{sim.WSJF{}, sim.SJF{}, sim.FIFO{}} {
-		res, err := sim.Run(base, trace, sched.LeastVolume{}, sim.Options{Policy: pol})
+	policies := []sim.Policy{sim.WSJF{}, sim.SJF{}, sim.FIFO{}}
+	rows, err := Sweep(cfg, len(policies), func(i int) ([2]float64, error) {
+		// trace is shared read-only: Run copies job fields into its own
+		// JobState and never writes back.
+		res, err := sim.Run(base, trace, sched.LeastVolume{}, sim.Options{Policy: policies[i]})
 		if err != nil {
-			return nil, err
+			return [2]float64{}, err
 		}
-		tb.AddRow(pol.Name(), res.Stats.WeightedFlow, res.Stats.TotalFlow)
+		return [2]float64{res.Stats.WeightedFlow, res.Stats.TotalFlow}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pol := range policies {
+		tb.AddRow(pol.Name(), rows[i][0], rows[i][1])
 	}
 	tb.AddNote("the paper's machinery is unweighted; WSJF (highest density first) is the standard weighted generalization and wins on the weighted objective, showing the extension slot the model leaves open")
 	out.add(tb)
@@ -50,15 +59,25 @@ func runX4(cfg Config) (*Output, error) {
 	n := cfg.scaled(1500)
 	tb := table.New("X4 — line network, unit-ish packets: max vs total flow",
 		"policy", "speed", "max flow", "total flow")
-	for _, pol := range []sim.Policy{sim.FIFO{}, sim.SJF{}} {
-		for _, s := range []float64{1.0, 1.25} {
-			t := line.WithUniformSpeed(s)
-			trace := poisson(cfg.rng(2000), n, workload.UniformSize{Lo: 1, Hi: 2}, 0.95, 1)
-			res, err := sim.Run(t, trace, core.NewGreedyIdentical(0.5), sim.Options{Policy: pol})
-			if err != nil {
-				return nil, err
-			}
-			tb.AddRow(pol.Name(), s, res.Stats.MaxFlow, res.Stats.TotalFlow)
+	x4policies := []sim.Policy{sim.FIFO{}, sim.SJF{}}
+	x4speeds := []float64{1.0, 1.25}
+	rows, err := Sweep(cfg, len(x4policies)*len(x4speeds), func(i int) ([2]float64, error) {
+		pol, s := x4policies[i/len(x4speeds)], x4speeds[i%len(x4speeds)]
+		t := line.WithUniformSpeed(s)
+		trace := poisson(cfg.rng(2000), n, workload.UniformSize{Lo: 1, Hi: 2}, 0.95, 1)
+		res, err := sim.Run(t, trace, core.NewGreedyIdentical(0.5), sim.Options{Policy: pol})
+		if err != nil {
+			return [2]float64{}, err
+		}
+		return [2]float64{res.Stats.MaxFlow, res.Stats.TotalFlow}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range x4policies {
+		for si, s := range x4speeds {
+			r := rows[pi*len(x4speeds)+si]
+			tb.AddRow(pol.Name(), s, r[0], r[1])
 		}
 	}
 	tb.AddNote("near-unit packets on a line: FIFO bounds the maximum flow (the LATIN 2014 (1+eps)-speed O(1) result's regime), SJF optimizes the total; the tension is why max-flow on trees is posed as an open problem")

@@ -65,23 +65,41 @@ func runM1(cfg Config) (*Output, error) {
 
 	tb := table.New("M1 — avg flow by machine model and assignment rule (load 0.85)",
 		"model", "greedy identical", "greedy unrelated", "least volume", "round robin")
-	for mi, model := range []string{"identical", "related", "unrelated"} {
+	models := []string{"identical", "related", "unrelated"}
+	// Each cell constructs its own assigner: RoundRobin is stateful and
+	// must not be shared between concurrently running cells.
+	mkAssigner := func(ai int) sim.Assigner {
+		switch ai {
+		case 0:
+			return core.NewGreedyIdentical(0.5)
+		case 1:
+			return core.NewGreedyUnrelated(0.5)
+		case 2:
+			return sched.LeastVolume{}
+		default:
+			return &sched.RoundRobin{}
+		}
+	}
+	const assigners = 4
+	vals, err := Sweep(cfg, len(models)*assigners, func(i int) (float64, error) {
+		mi, ai := i/assigners, i%assigners
+		tr, err := mkTrace(models[mi], uint64(mi))
+		if err != nil {
+			return 0, err
+		}
+		res, err := sim.Run(base, tr, mkAssigner(ai), sim.Options{})
+		if err != nil {
+			return 0, err
+		}
+		return res.AvgFlow(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, model := range models {
 		row := []interface{}{model}
-		for _, asg := range []sim.Assigner{
-			core.NewGreedyIdentical(0.5),
-			core.NewGreedyUnrelated(0.5),
-			sched.LeastVolume{},
-			&sched.RoundRobin{},
-		} {
-			tr, err := mkTrace(model, uint64(mi))
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(base, tr, asg, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, res.AvgFlow())
+		for ai := 0; ai < assigners; ai++ {
+			row = append(row, vals[mi*assigners+ai])
 		}
 		tb.AddRow(row...)
 	}

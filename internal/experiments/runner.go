@@ -18,23 +18,36 @@ type RunResult struct {
 // deterministic given Config, so concurrency does not affect any
 // reported number — only wall-clock time. parallelism <= 0 uses
 // GOMAXPROCS.
+//
+// parallelism bounds *total* concurrency, not just the number of
+// simultaneously running experiments: the same token pool is shared
+// with every intra-experiment Sweep, so grid cells soak up whatever
+// slots whole experiments leave idle (e.g. a single -run T1 still
+// fans its ε×load grid across all -parallel workers).
 func RunAll(exps []*Experiment, cfg Config, parallelism int) []RunResult {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism > len(exps) {
-		parallelism = len(exps)
+	// The pool capacity is the full parallelism budget even when there
+	// are fewer experiments than workers — Sweep helpers claim the
+	// leftover tokens.
+	cfg.tokens = make(chan struct{}, parallelism)
+	workers := parallelism
+	if workers > len(exps) {
+		workers = len(exps)
 	}
 	results := make([]RunResult, len(exps))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				e := exps[i]
+				cfg.tokens <- struct{}{}
 				out, err := runSafe(e, cfg)
+				<-cfg.tokens
 				results[i] = RunResult{Exp: e, Output: out, Err: err}
 			}
 		}()

@@ -59,18 +59,29 @@ func runT1(cfg Config) (*Output, error) {
 	tb := table.New("T1 — identical endpoints, competitive ratio upper bound vs eps",
 		"eps", "speed", "load", "jobs", "flow(greedy)", "LB(OPT,1x)", "ratio<=")
 	n := cfg.scaled(2000)
+	var cells []struct{ eps, load float64 }
 	for _, eps := range []float64{0.1, 0.25, 0.5, 1.0} {
 		for _, load := range []float64{0.8, 0.95} {
-			base := tree.FatTree(2, 2, 2)
-			t := base.WithUniformSpeed(1 + eps)
-			trace := poisson(cfg.rng(uint64(eps*1000)), n, classSizes(eps), load, float64(len(base.RootAdjacent())))
-			res, err := sim.Run(t, trace, core.NewGreedyIdentical(eps), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			lb := lowerbound.Best(base, trace)
-			tb.AddRow(eps, 1+eps, load, n, res.Stats.TotalFlow, lb, res.Stats.TotalFlow/lb)
+			cells = append(cells, struct{ eps, load float64 }{eps, load})
 		}
+	}
+	rows, err := Sweep(cfg, len(cells), func(i int) ([]interface{}, error) {
+		eps, load := cells[i].eps, cells[i].load
+		base := tree.FatTree(2, 2, 2)
+		t := base.WithUniformSpeed(1 + eps)
+		trace := poisson(cfg.rng(uint64(eps*1000)), n, classSizes(eps), load, float64(len(base.RootAdjacent())))
+		res, err := sim.Run(t, trace, core.NewGreedyIdentical(eps), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		lb := lowerbound.Best(base, trace)
+		return []interface{}{eps, 1 + eps, load, n, res.Stats.TotalFlow, lb, res.Stats.TotalFlow / lb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	tb.AddNote("ratios are upper bounds on the true competitive ratio (denominator is a lower bound on OPT); Theorem 1 predicts a constant depending only on eps")
 	out.add(tb)
@@ -85,30 +96,38 @@ func runT2(cfg Config) (*Output, error) {
 	tb := table.New("T2 — unrelated endpoints, competitive ratio upper bound vs eps",
 		"eps", "speed", "jobs", "flow(greedy)", "LB(OPT,1x)", "ratio<=")
 	n := cfg.scaled(1500)
-	for _, row := range []struct {
+	cells := []struct {
 		eps   float64
 		speed float64
 	}{
 		{0.25, 2.25}, {0.5, 2.5}, {1.0, 3.0},
 		// Below the theorem's speed requirement, for contrast:
 		{0.5, 1.5}, {0.5, 1.0},
-	} {
+	}
+	rows, err := Sweep(cfg, len(cells), func(i int) ([]interface{}, error) {
+		c := cells[i]
 		base := tree.FatTree(2, 2, 2)
-		t := base.WithUniformSpeed(row.speed)
-		r := cfg.rng(uint64(row.eps*1000) + uint64(row.speed*10))
-		trace := poisson(r, n, classSizes(row.eps), 0.9, float64(len(base.RootAdjacent())))
+		t := base.WithUniformSpeed(c.speed)
+		r := cfg.rng(uint64(c.eps*1000) + uint64(c.speed*10))
+		trace := poisson(r, n, classSizes(c.eps), 0.9, float64(len(base.RootAdjacent())))
 		if err := workload.MakeUnrelated(r, trace, workload.UnrelatedConfig{
 			Leaves: len(base.Leaves()), Lo: 0.5, Hi: 2, PInfeasible: 0.2, Penalty: 8,
 		}); err != nil {
 			return nil, err
 		}
-		workload.RoundTraceToClasses(trace, row.eps)
-		res, err := sim.Run(t, trace, core.NewGreedyUnrelated(row.eps), sim.Options{})
+		workload.RoundTraceToClasses(trace, c.eps)
+		res, err := sim.Run(t, trace, core.NewGreedyUnrelated(c.eps), sim.Options{})
 		if err != nil {
 			return nil, err
 		}
 		lb := lowerbound.Best(base, trace)
-		tb.AddRow(row.eps, row.speed, n, res.Stats.TotalFlow, lb, res.Stats.TotalFlow/lb)
+		return []interface{}{c.eps, c.speed, n, res.Stats.TotalFlow, lb, res.Stats.TotalFlow / lb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	tb.AddNote("Theorem 2 requires speed 2+eps; the 1.5x and 1.0x rows show how much harder the low-speed regime is")
 	out.add(tb)
@@ -124,15 +143,23 @@ func runT3(cfg Config) (*Output, error) {
 		"eps", "speed", "fractional", "integral", "integral/fractional", "1/eps")
 	n := cfg.scaled(2000)
 	base := tree.FatTree(2, 2, 2)
-	for _, eps := range []float64{0.1, 0.25, 0.5, 1.0} {
+	epsList := []float64{0.1, 0.25, 0.5, 1.0}
+	rows, err := Sweep(cfg, len(epsList), func(i int) ([]interface{}, error) {
+		eps := epsList[i]
 		t := base.WithUniformSpeed(1 + eps)
 		trace := poisson(cfg.rng(300+uint64(eps*100)), n, classSizes(eps), 0.95, float64(len(base.RootAdjacent())))
 		res, err := sim.Run(t, trace, core.NewGreedyIdentical(eps), sim.Options{})
 		if err != nil {
 			return nil, err
 		}
-		tb.AddRow(eps, 1+eps, res.Stats.FracFlow, res.Stats.TotalFlow,
-			res.Stats.TotalFlow/res.Stats.FracFlow, 1/eps)
+		return []interface{}{eps, 1 + eps, res.Stats.FracFlow, res.Stats.TotalFlow,
+			res.Stats.TotalFlow / res.Stats.FracFlow, 1 / eps}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	tb.AddNote("Theorem 3: an s-speed c-competitive fractional algorithm yields a (1+eps)s-speed O(c/eps)-competitive integral one; the measured gap should stay below O(1/eps)")
 	out.add(tb)
@@ -148,7 +175,9 @@ func runT5(cfg Config) (*Output, error) {
 	tb := table.New("T5 — fractional flow on broomsticks (Theorem 5 speed profile)",
 		"eps", "jobs", "fractional flow", "LB(OPT,1x)", "ratio<=", "paper bound O(1/eps^3)")
 	n := cfg.scaled(1500)
-	for _, eps := range []float64{0.25, 0.5, 1.0} {
+	epsList := []float64{0.25, 0.5, 1.0}
+	rows, err := Sweep(cfg, len(epsList), func(i int) ([]interface{}, error) {
+		eps := epsList[i]
 		base := tree.BroomstickTree(2, 4, 2)
 		t := base.WithSpeeds(1+eps, (1+eps)*(1+eps), (1+eps)*(1+eps))
 		trace := poisson(cfg.rng(2100+uint64(eps*100)), n, classSizes(eps), 0.9, float64(len(base.RootAdjacent())))
@@ -157,7 +186,13 @@ func runT5(cfg Config) (*Output, error) {
 			return nil, err
 		}
 		lb := lowerbound.Best(base, trace)
-		tb.AddRow(eps, n, res.Stats.FracFlow, lb, res.Stats.FracFlow/lb, 1/(eps*eps*eps))
+		return []interface{}{eps, n, res.Stats.FracFlow, lb, res.Stats.FracFlow / lb, 1 / (eps * eps * eps)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	tb.AddNote("the broomstick is the structure the dual fitting actually analyzes; the measured ratios sit far below the O(1/eps^3) worst case")
 	out.add(tb)
@@ -171,7 +206,9 @@ func runT6(cfg Config) (*Output, error) {
 	tb := table.New("T6 — fractional flow on broomsticks, unrelated endpoints (Theorem 6 speeds)",
 		"eps", "jobs", "fractional flow", "LB(OPT,1x)", "ratio<=")
 	n := cfg.scaled(1200)
-	for _, eps := range []float64{0.25, 0.5, 1.0} {
+	epsList := []float64{0.25, 0.5, 1.0}
+	rows, err := Sweep(cfg, len(epsList), func(i int) ([]interface{}, error) {
+		eps := epsList[i]
 		base := tree.BroomstickTree(2, 3, 2)
 		t := base.WithSpeeds(2*(1+eps), 2*(1+eps)*(1+eps), 2*(1+eps)*(1+eps))
 		r := cfg.rng(2200 + uint64(eps*100))
@@ -185,7 +222,13 @@ func runT6(cfg Config) (*Output, error) {
 			return nil, err
 		}
 		lb := lowerbound.Best(base, trace)
-		tb.AddRow(eps, n, res.Stats.FracFlow, lb, res.Stats.FracFlow/lb)
+		return []interface{}{eps, n, res.Stats.FracFlow, lb, res.Stats.FracFlow / lb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	tb.AddNote("Theorem 6 doubles every speed relative to Theorem 5 to absorb the leaf-size mismatch; ratios stay bounded")
 	out.add(tb)
@@ -223,27 +266,34 @@ func runT4(cfg Config) (*Output, error) {
 	tb := table.New("T4 — broomstick cost inflation, portfolio proxy for OPT",
 		"eps", "instances", "mean ratio", "max ratio", "paper bound O(1/eps^3)")
 	n := cfg.scaled(200)
-	for _, eps := range []float64{0.25, 0.5, 1.0} {
+	epsList := []float64{0.25, 0.5, 1.0}
+	const instances = 6
+	ratios, err := Sweep(cfg, len(epsList)*instances, func(i int) (float64, error) {
+		eps, k := epsList[i/instances], i%instances
+		r := cfg.rng(400 + uint64(eps*100) + uint64(k))
+		base := tree.Random(r, tree.RandomConfig{Branches: 2, MaxDepth: 4, MaxChildren: 2, LeafProb: 0.45})
+		trace := poisson(r, n, classSizes(eps), 0.85, float64(len(base.RootAdjacent())))
+		costT, err := optProxy(base, trace)
+		if err != nil {
+			return 0, err
+		}
+		bs, err := tree.Reduce(base)
+		if err != nil {
+			return 0, err
+		}
+		aug := bs.Reduced.WithSpeeds(1+eps, (1+eps)*(1+eps), (1+eps)*(1+eps))
+		costT2, err := optProxy(aug, trace)
+		if err != nil {
+			return 0, err
+		}
+		return costT2 / costT, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, eps := range epsList {
 		var sum, worst float64
-		const instances = 6
-		for k := 0; k < instances; k++ {
-			r := cfg.rng(400 + uint64(eps*100) + uint64(k))
-			base := tree.Random(r, tree.RandomConfig{Branches: 2, MaxDepth: 4, MaxChildren: 2, LeafProb: 0.45})
-			trace := poisson(r, n, classSizes(eps), 0.85, float64(len(base.RootAdjacent())))
-			costT, err := optProxy(base, trace)
-			if err != nil {
-				return nil, err
-			}
-			bs, err := tree.Reduce(base)
-			if err != nil {
-				return nil, err
-			}
-			aug := bs.Reduced.WithSpeeds(1+eps, (1+eps)*(1+eps), (1+eps)*(1+eps))
-			costT2, err := optProxy(aug, trace)
-			if err != nil {
-				return nil, err
-			}
-			ratio := costT2 / costT
+		for _, ratio := range ratios[ei*instances : (ei+1)*instances] {
 			sum += ratio
 			if ratio > worst {
 				worst = ratio

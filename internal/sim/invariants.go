@@ -48,8 +48,10 @@ func (s *Sim) CheckInvariants() error {
 		if js.leafIdx < 0 || js.leafIdx >= len(lst) || lst[js.leafIdx] != js {
 			return fmt.Errorf("sim: task %d missing from its leaf's assigned set", js.ID)
 		}
-		// Pending sets mirror the remaining path.
-		if s.pendingOn != nil {
+		// Pending sets mirror the remaining path. (Keyed on the option,
+		// not pendingOn's nil-ness: Reset keeps the buffers allocated
+		// after instrumentation is switched off.)
+		if s.opts.Instrument {
 			for h := js.Hop; h < len(js.Path); h++ {
 				v := js.Path[h]
 				idx := js.pendIdx[h]
@@ -71,12 +73,12 @@ func (s *Sim) CheckInvariants() error {
 	for v := tree.NodeID(1); int(v) < s.tree.NumNodes(); v++ {
 		n := &s.nodes[v]
 		count := 0
-		n.avail.each(func(js *JobState) {
+		for _, js := range n.avail.tasks() {
 			count++
 			if onNode[js] != v {
 				panic(fmt.Sprintf("sim: task %d queued on node %d but current node is %d", js.ID, v, onNode[js]))
 			}
-		})
+		}
 		if n.running != nil {
 			if onNode[n.running] != v {
 				return fmt.Errorf("sim: node %d running a task that is elsewhere", v)

@@ -11,8 +11,13 @@ type Query struct {
 	s *Sim
 }
 
-// Query returns the read-only state view.
-func (s *Sim) Query() *Query { return &Query{s} }
+// Query returns the read-only state view. The view is owned by the
+// engine and reused across calls, so the accessor does not allocate on
+// the per-arrival assignment path.
+func (s *Sim) Query() *Query {
+	s.query.s = s
+	return &s.query
+}
 
 // Tree returns the topology.
 func (q *Query) Tree() *tree.Tree { return q.s.tree }
@@ -28,25 +33,38 @@ func (q *Query) Now() float64 { return q.s.now }
 func (q *Query) AvailVolumeHigher(v tree.NodeID, size, release float64, id int) float64 {
 	q.s.sync(v)
 	var sum float64
-	q.s.nodes[v].avail.each(func(js *JobState) {
+	for _, js := range q.s.nodes[v].avail.tasks() {
 		if higherPriority(js.PrioOnCur, js.Release, js.ID, js.seq, size, release, id, maxSeq) {
 			sum += js.Remaining
 		}
-	})
+	}
 	return sum
 }
 
 // AvailCountLarger returns |{J_i available on v : p_{i,v} > size}| —
-// the displacement term of F(j,v).
+// the displacement term of F(j,v). Distinct jobs are counted once even
+// when split into packets; the de-duplication scratch lives on the
+// engine so the per-arrival assignment path stays allocation-free.
 func (q *Query) AvailCountLarger(v tree.NodeID, size float64) int {
 	count := 0
-	seen := make(map[int]bool)
-	q.s.nodes[v].avail.each(func(js *JobState) {
-		if js.PrioOnCur > size && !seen[js.ID] {
-			seen[js.ID] = true
+	seen := q.s.scratchIDs[:0]
+	for _, js := range q.s.nodes[v].avail.tasks() {
+		if js.PrioOnCur <= size {
+			continue
+		}
+		dup := false
+		for _, id := range seen {
+			if id == js.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, js.ID)
 			count++
 		}
-	})
+	}
+	q.s.scratchIDs = seen[:0]
 	return count
 }
 
@@ -54,7 +72,9 @@ func (q *Query) AvailCountLarger(v tree.NodeID, size float64) int {
 func (q *Query) AvailVolume(v tree.NodeID) float64 {
 	q.s.sync(v)
 	var sum float64
-	q.s.nodes[v].avail.each(func(js *JobState) { sum += js.Remaining })
+	for _, js := range q.s.nodes[v].avail.tasks() {
+		sum += js.Remaining
+	}
 	return sum
 }
 
@@ -123,7 +143,9 @@ func (q *Query) BranchFracRemaining(v tree.NodeID) float64 {
 // through v that have not completed processing on v. Requires
 // Options.Instrument. Live engine state; do not mutate.
 func (q *Query) PendingOn(v tree.NodeID) []*JobState {
-	if q.s.pendingOn == nil {
+	// Checked via the options, not pendingOn's nil-ness: a Reset from
+	// instrumented to uninstrumented keeps the buffers allocated.
+	if !q.s.opts.Instrument {
 		panic("sim: PendingOn requires Options.Instrument")
 	}
 	return q.s.pendingOn[v]

@@ -12,8 +12,14 @@ type taskQueue interface {
 	fix(js *JobState)
 	min() *JobState
 	len() int
-	// each visits all queued tasks in unspecified order.
-	each(fn func(js *JobState))
+	// tasks exposes all queued tasks in unspecified (but
+	// deterministic) order. Callers iterate the returned slice
+	// directly — unlike a visitor callback this never forces captured
+	// accumulator variables to escape, keeping hot queries
+	// allocation-free. Read-only; valid until the next queue mutation.
+	tasks() []*JobState
+	// clear empties the queue in place, retaining capacity (Reset).
+	clear()
 }
 
 // heapQueue is a binary min-heap over (key1, key2, seq).
@@ -104,11 +110,9 @@ func (h *heapQueue) down(i int) bool {
 	return moved
 }
 
-func (h *heapQueue) each(fn func(js *JobState)) {
-	for _, js := range h.items {
-		fn(js)
-	}
-}
+func (h *heapQueue) tasks() []*JobState { return h.items }
+
+func (h *heapQueue) clear() { h.items = h.items[:0] }
 
 // scanQueue is the O(n)-per-operation reference implementation.
 type scanQueue struct {
@@ -151,8 +155,6 @@ func (s *scanQueue) min() *JobState {
 	return best
 }
 
-func (s *scanQueue) each(fn func(js *JobState)) {
-	for _, js := range s.items {
-		fn(js)
-	}
-}
+func (s *scanQueue) tasks() []*JobState { return s.items }
+
+func (s *scanQueue) clear() { s.items = s.items[:0] }

@@ -73,19 +73,29 @@ func (r *Result) WriteJSON(w io.Writer) error {
 // each arrival, consults the assigner (immediate dispatch), injects
 // the job, and drains the engine at the end.
 func Run(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Options) (*Result, error) {
+	return RunOn(New(t, opts), trace, asg)
+}
+
+// RunOn replays a trace through an existing engine, which must be
+// freshly created or Reset. It is the steady-state entry point for
+// replicate sweeps: calling Reset then RunOn reuses the engine's event
+// heap, node queues and task arena, so repeated runs approach zero
+// allocations. The schedule is identical to a Run on a fresh engine.
+func RunOn(s *Sim, trace *workload.Trace, asg Assigner) (*Result, error) {
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
-	s := New(t, opts)
+	t := s.tree
+	var a Arrival
 	for i := range trace.Jobs {
 		j := &trace.Jobs[i]
 		if j.LeafSizes != nil && len(j.LeafSizes) != len(t.Leaves()) {
 			return nil, fmt.Errorf("sim: job %d has %d leaf sizes for a %d-leaf tree", j.ID, len(j.LeafSizes), len(t.Leaves()))
 		}
 		s.AdvanceTo(j.Release)
-		a := &Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
-		leaf := asg.Assign(s.Query(), a)
-		if _, err := s.Inject(a, leaf); err != nil {
+		a = Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
+		leaf := asg.Assign(s.Query(), &a)
+		if _, err := s.Inject(&a, leaf); err != nil {
 			return nil, fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
 		}
 	}
@@ -163,17 +173,16 @@ func RunPacketized(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Optio
 		routerPiece := j.Size / float64(k)
 		leafPiece := a.LeafSize(li) / float64(k)
 		for p := 0; p < k; p++ {
-			js := &JobState{
-				ID:         j.ID,
-				seq:        s.nextSeq,
-				Release:    j.Release,
-				RouterSize: routerPiece,
-				LeafWork:   leafPiece,
-				PrioRouter: j.Size,
-				PrioLeaf:   a.LeafSize(li),
-				FracWeight: 1 / float64(k),
-				Leaf:       leaf,
-			}
+			js := s.newTask()
+			js.ID = j.ID
+			js.seq = s.nextSeq
+			js.Release = j.Release
+			js.RouterSize = routerPiece
+			js.LeafWork = leafPiece
+			js.PrioRouter = j.Size
+			js.PrioLeaf = a.LeafSize(li)
+			js.FracWeight = 1 / float64(k)
+			js.Leaf = leaf
 			s.nextSeq++
 			if err := s.inject(js, tree.NodeID(j.Origin)); err != nil {
 				return nil, err

@@ -138,6 +138,9 @@ type Slice struct {
 
 // Sim is the simulation engine. Create with New, feed arrivals with
 // Inject (after AdvanceTo their release time), and finish with Drain.
+// A drained engine can be returned to an empty time-zero state with
+// Reset, which retains all allocated capacity so that repeated
+// replicate runs approach zero allocations in steady state.
 type Sim struct {
 	tree *tree.Tree
 	opts Options
@@ -150,6 +153,19 @@ type Sim struct {
 
 	tasks   []*JobState
 	nextSeq int64
+
+	// free holds JobStates recycled by Reset; block is the tail of the
+	// current arena chunk fresh tasks are carved from. Together they
+	// keep the per-arrival allocation off the steady-state hot path.
+	free  []*JobState
+	block []JobState
+
+	// query is the read-only view handed out by Query (one per engine
+	// so the accessor does not allocate).
+	query Query
+	// scratchIDs is reused by Query.AvailCountLarger for packet
+	// de-duplication.
+	scratchIDs []int
 
 	// assigned[leafIndex] lists incomplete tasks assigned to the leaf
 	// (the paper's Q_v(t) for leaves).
@@ -173,30 +189,145 @@ type Sim struct {
 
 // New creates an engine for the given tree.
 func New(t *tree.Tree, opts Options) *Sim {
-	if opts.Policy == nil {
-		opts.Policy = SJF{}
-	}
-	s := &Sim{tree: t, opts: opts}
-	_, s.ps = opts.Policy.(PS)
+	s := &Sim{tree: t}
 	s.nodes = make([]nodeState, t.NumNodes())
 	for i := range s.nodes {
 		n := &s.nodes[i]
 		n.id = tree.NodeID(i)
 		n.speed = t.Speed(n.id)
 		n.leaf = t.IsLeaf(n.id)
-		if opts.UseScanQueue || s.ps {
-			// Processor sharing recomputes the next completion by
-			// scanning, so the heap's cached keys would be stale.
-			n.avail = newScanQueue()
-		} else {
-			n.avail = newHeapQueue()
-		}
 	}
 	s.assigned = make([][]*JobState, len(t.Leaves()))
-	if opts.Instrument {
-		s.pendingOn = make([][]*JobState, t.NumNodes())
-	}
+	s.applyOptions(opts)
 	return s
+}
+
+// applyOptions installs opts, building or clearing the per-node queues
+// as needed. The queue implementation depends on the options (scan for
+// PS and UseScanQueue, heap otherwise), so a Reset that changes either
+// rebuilds the queues; otherwise they are emptied in place.
+func (s *Sim) applyOptions(opts Options) {
+	if opts.Policy == nil {
+		opts.Policy = SJF{}
+	}
+	_, ps := opts.Policy.(PS)
+	// Processor sharing recomputes the next completion by scanning,
+	// so the heap's cached keys would be stale.
+	scan := opts.UseScanQueue || ps
+	prevScan := s.opts.UseScanQueue || s.ps
+	s.opts = opts
+	s.ps = ps
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		switch {
+		case n.avail == nil || scan != prevScan:
+			if scan {
+				n.avail = newScanQueue()
+			} else {
+				n.avail = newHeapQueue()
+			}
+		default:
+			n.avail.clear()
+		}
+	}
+	if opts.Instrument && s.pendingOn == nil {
+		s.pendingOn = make([][]*JobState, len(s.nodes))
+	}
+}
+
+// Reset returns the engine to an empty state at time zero while
+// retaining every allocated buffer (event heap, node queues, task
+// arena, instrumentation slices), so replaying traces on one engine
+// approaches zero allocations per run. opts may differ arbitrarily
+// from the previous run's options — changing Policy, Instrument,
+// UseScanQueue, etc. is supported and the engine reconfigures itself.
+//
+// Reset recycles every JobState from the previous run: pointers
+// previously obtained from Tasks(), Inject or a Result that references
+// this engine become invalid. Extract any metrics you need before
+// resetting.
+func (s *Sim) Reset(opts Options) {
+	for _, js := range s.tasks {
+		s.free = append(s.free, js)
+	}
+	s.tasks = s.tasks[:0]
+	s.nextSeq = 0
+	s.now = 0
+	s.events = s.events[:0]
+	for i := range s.nodes {
+		n := &s.nodes[i]
+		n.running = nil
+		n.finishSeq = 0
+		n.lastSync = 0
+		n.busyTime = 0
+		n.workDone = 0
+		n.fracContrib = 0
+	}
+	for i := range s.assigned {
+		s.assigned[i] = s.assigned[i][:0]
+	}
+	for i := range s.pendingOn {
+		s.pendingOn[i] = s.pendingOn[i][:0]
+	}
+	s.activeTasks = 0
+	s.slices = s.slices[:0]
+	s.fracSum, s.fracRate, s.fracIntegral, s.activeIntegral = 0, 0, 0, 0
+	s.eventCount = 0
+	s.applyOptions(opts)
+}
+
+// taskBlockSize is how many JobStates one arena chunk holds; one chunk
+// allocation amortizes over this many injections.
+const taskBlockSize = 512
+
+// newTask returns a zeroed JobState from the freelist or the arena.
+// Instrumentation buffers of recycled tasks are kept (emptied) when
+// the engine is instrumented so inject can refill them in place; in
+// uninstrumented mode they are dropped to nil, which downstream code
+// (e.g. trace rendering) uses to detect the absence of hop timings.
+func (s *Sim) newTask() *JobState {
+	if n := len(s.free); n > 0 {
+		js := s.free[n-1]
+		s.free = s.free[:n-1]
+		ha, hc, pi := js.HopArrive, js.HopComplete, js.pendIdx
+		*js = JobState{}
+		if s.opts.Instrument {
+			js.HopArrive = ha[:0]
+			js.HopComplete = hc[:0]
+			js.pendIdx = pi[:0]
+		}
+		return js
+	}
+	if len(s.block) == 0 {
+		s.block = make([]JobState, taskBlockSize)
+	}
+	js := &s.block[0]
+	s.block = s.block[1:]
+	return js
+}
+
+// growFloats resizes sl to n zeroed entries, reusing its capacity.
+func growFloats(sl []float64, n int) []float64 {
+	if cap(sl) < n {
+		return make([]float64, n)
+	}
+	sl = sl[:n]
+	for i := range sl {
+		sl[i] = 0
+	}
+	return sl
+}
+
+// growInts resizes sl to n zeroed entries, reusing its capacity.
+func growInts(sl []int, n int) []int {
+	if cap(sl) < n {
+		return make([]int, n)
+	}
+	sl = sl[:n]
+	for i := range sl {
+		sl[i] = 0
+	}
+	return sl
 }
 
 // Now returns the current simulation time.
@@ -220,16 +351,15 @@ func (s *Sim) Inject(a *Arrival, leaf tree.NodeID) (*JobState, error) {
 	if w <= 0 {
 		w = 1
 	}
-	js := &JobState{
-		ID:         a.ID,
-		seq:        s.nextSeq,
-		Release:    a.Release,
-		RouterSize: a.Size,
-		LeafWork:   a.LeafSize(s.tree.LeafIndex(leaf)),
-		FracWeight: 1,
-		Weight:     w,
-		Leaf:       leaf,
-	}
+	js := s.newTask()
+	js.ID = a.ID
+	js.seq = s.nextSeq
+	js.Release = a.Release
+	js.RouterSize = a.Size
+	js.LeafWork = a.LeafSize(s.tree.LeafIndex(leaf))
+	js.FracWeight = 1
+	js.Weight = w
+	js.Leaf = leaf
 	s.nextSeq++
 	return js, s.inject(js, a.Origin)
 }
@@ -272,10 +402,10 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 	js.Remaining = js.OrigOnCur
 	js.NodeArrive = s.now
 	if s.opts.Instrument {
-		js.HopArrive = make([]float64, len(js.Path))
-		js.HopComplete = make([]float64, len(js.Path))
+		js.HopArrive = growFloats(js.HopArrive, len(js.Path))
+		js.HopComplete = growFloats(js.HopComplete, len(js.Path))
 		js.HopArrive[0] = s.now
-		js.pendIdx = make([]int, len(js.Path))
+		js.pendIdx = growInts(js.pendIdx, len(js.Path))
 		for i, v := range js.Path {
 			js.pendIdx[i] = len(s.pendingOn[v])
 			s.pendingOn[v] = append(s.pendingOn[v], js)
@@ -340,14 +470,14 @@ func (s *Sim) sync(v tree.NodeID) {
 		}
 		share := dt * n.speed / float64(k)
 		var done float64
-		n.avail.each(func(js *JobState) {
+		for _, js := range n.avail.tasks() {
 			d := share
 			if d > js.Remaining {
 				d = js.Remaining
 			}
 			js.Remaining -= d
 			done += d
-		})
+		}
 		n.busyTime += dt
 		n.workDone += done
 		return
@@ -420,13 +550,13 @@ func (s *Sim) reschedulePS(v tree.NodeID) {
 	n := &s.nodes[v]
 	s.sync(v)
 	var best *JobState
-	n.avail.each(func(js *JobState) {
+	for _, js := range n.avail.tasks() {
 		if best == nil ||
 			js.Remaining < best.Remaining ||
 			(js.Remaining == best.Remaining && (js.ID < best.ID || (js.ID == best.ID && js.seq < best.seq))) {
 			best = js
 		}
-	})
+	}
 	// Any change to the share count moves every deadline, so always
 	// reissue the event.
 	n.running = best
@@ -441,9 +571,9 @@ func (s *Sim) reschedulePS(v tree.NodeID) {
 	k := float64(n.avail.len())
 	if n.leaf {
 		var contrib float64
-		n.avail.each(func(js *JobState) {
+		for _, js := range n.avail.tasks() {
 			contrib += js.FracWeight * (n.speed / k) / js.OrigOnCur
-		})
+		}
 		n.fracContrib = contrib
 		s.fracRate += contrib
 	}

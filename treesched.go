@@ -125,6 +125,22 @@ func AssignWeights(seed uint64, tr *Trace, maxWeight int) {
 	workload.AssignWeights(rng.New(seed), tr, maxWeight)
 }
 
+// Sim is the event-driven engine itself, exported for callers that
+// want to reuse one engine across runs (NewSim + RunOn + Reset)
+// instead of paying a fresh allocation per Run.
+type Sim = sim.Sim
+
+// NewSim builds an engine for t. Reuse it across runs via
+// (*Sim).Reset, which retains all allocated capacity.
+func NewSim(t *Tree, opts Options) *Sim { return sim.New(t, opts) }
+
+// RunOn simulates a trace on an existing engine (freshly built or
+// recycled with Reset). Equivalent to Run but allocation-free in the
+// steady state.
+func RunOn(s *Sim, tr *Trace, asg Assigner) (*Result, error) {
+	return sim.RunOn(s, tr, asg)
+}
+
 // Run simulates a trace on a tree with the given leaf assigner.
 func Run(t *Tree, tr *Trace, asg Assigner, opts Options) (*Result, error) {
 	return sim.Run(t, tr, asg, opts)
