@@ -26,7 +26,7 @@ bench:
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_2.json
 
 # Everything CI needs: build, vet, race-clean short tests, and a smoke
 # run of the benchmark harness (fast benchtime, throwaway output).

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_1.json] [-seed 1] [-scale 0.05] [-quick]
+//	bench [-out BENCH_2.json] [-seed 1] [-scale 0.05] [-quick]
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Kernels:
@@ -13,6 +13,9 @@
 //	engine/cold        fresh engine per run (sim.Run)
 //	engine/warm        one engine recycled via Sim.Reset + RunOn
 //	engine/instrumented  warm engine with per-hop instrumentation on
+//	scenario/run       declarative layer: scenario.Runner on the same
+//	                   workload as engine/warm (overhead shows as the
+//	                   delta between the two rows)
 //	experiments/T1     full T1 grid (exercises Sweep fan-out)
 //	experiments/B3     speed-augmentation sweep (exercises Sweep)
 //
@@ -62,7 +65,7 @@ type kernel struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "write JSON results to this file")
+	out := flag.String("out", "BENCH_2.json", "write JSON results to this file")
 	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
 	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
 	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
@@ -97,7 +100,7 @@ func main() {
 	}
 
 	doc := benchFile{
-		Schema:     "treesched-bench/1",
+		Schema:     "treesched-bench/2",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
@@ -204,6 +207,41 @@ func buildKernels(seed uint64, scale float64) ([]kernel, error) {
 			},
 		},
 	}
+
+	// The declarative layer on the same workload: the scenario below
+	// reproduces tr bit for bit (PoissonTrace is uniform:1,16 with
+	// class rounding at eps 0.5), so scenario/run vs engine/warm
+	// isolates the layer's own overhead.
+	sc := &treesched.Scenario{
+		Topology: treesched.NewSpec("fattree", 2, 2, 2),
+		Workload: treesched.ScenarioWorkload{
+			N: 2000, Size: treesched.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.95,
+		},
+		Assigner: "greedy-identical",
+		Seed:     seed + 41,
+	}
+	r, err := treesched.NewScenarioRunner(sc)
+	if err != nil {
+		return nil, err
+	}
+	scCalib, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	ks = append(ks, kernel{
+		name:   "scenario/run",
+		events: scCalib.Stats.Events,
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
 	for _, id := range []string{"T1", "B3"} {
 		e, err := experiments.ByID(id)
 		if err != nil {

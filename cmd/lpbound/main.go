@@ -7,9 +7,12 @@
 //
 //	lpbound -topo star:2 -trace jobs.json [-lp] [-horizon 0]
 //	lpbound -topo star:2 -n 5 -load 0.8 -seed 1 [-lp]
+//	lpbound -scenario run.json [-lp]
 //
 // Either replay a JSON trace (written by treesched -trace or
-// tracegen) or generate a small Poisson instance in place.
+// tracegen) or generate a small Poisson instance in place. The flags
+// assemble a scenario.Scenario; -scenario loads one from a file and
+// -dump-scenario prints the assembled scenario as JSON.
 package main
 
 import (
@@ -17,10 +20,10 @@ import (
 	"fmt"
 	"os"
 
-	"treesched/internal/cli"
 	"treesched/internal/lowerbound"
 	"treesched/internal/lp"
-	"treesched/internal/rng"
+	"treesched/internal/scenario"
+	"treesched/internal/tree"
 	"treesched/internal/workload"
 )
 
@@ -31,15 +34,50 @@ func main() {
 	load := flag.Float64("load", 0.8, "offered load for generated traces")
 	seed := flag.Uint64("seed", 1, "seed for generated traces")
 	useLP := flag.Bool("lp", false, "also solve the time-indexed LP (small instances only)")
-	horizon := flag.Int("horizon", 0, "LP horizon in unit slots (0 = auto)")
+	horizon := flag.Int("horizon", 0, "LP horizon in unit slots (0 = scenario's horizon, else auto)")
+	scenFile := flag.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
+	dump := flag.Bool("dump-scenario", false, "print the scenario as JSON and exit without solving")
 	flag.Parse()
 
-	t, err := cli.ParseTopo(*topoSpec)
-	if err != nil {
-		fatal(err)
+	var sc *scenario.Scenario
+	if *scenFile != "" {
+		data, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fatal(err)
+		}
+		if sc, err = scenario.Load(data); err != nil {
+			fatal(err)
+		}
+	} else {
+		ts, err := scenario.ParseSpec(*topoSpec)
+		if err != nil {
+			fatal(err)
+		}
+		sc = &scenario.Scenario{
+			Topology: ts,
+			Workload: scenario.Workload{
+				N:    *n,
+				Size: scenario.NewSpec("uniform", 1, 4),
+				Load: *load,
+			},
+			Seed:    *seed,
+			Horizon: *horizon,
+		}
 	}
+	if *dump {
+		if err := sc.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var t *tree.Tree
 	var tr *workload.Trace
 	if *tracePath != "" {
+		var err error
+		if t, err = scenario.BuildTopo(sc.Topology); err != nil {
+			fatal(err)
+		}
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			fatal(err)
@@ -50,24 +88,24 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		tr, err = workload.Poisson(rng.New(*seed), workload.GenConfig{
-			N:        *n,
-			Size:     workload.UniformSize{Lo: 1, Hi: 4},
-			Load:     *load,
-			Capacity: float64(len(t.RootAdjacent())),
-		})
+		in, err := sc.Build()
 		if err != nil {
 			fatal(err)
 		}
+		t, tr = in.Tree, in.Trace
 	}
 
-	fmt.Printf("instance: %d jobs on %q (%d nodes)\n", len(tr.Jobs), *topoSpec, t.NumNodes())
+	hz := sc.Horizon
+	if *horizon != 0 {
+		hz = *horizon
+	}
+	fmt.Printf("instance: %d jobs on %q (%d nodes)\n", len(tr.Jobs), sc.Topology.String(), t.NumNodes())
 	fmt.Printf("path-work bound          %.6g\n", lowerbound.PathWork(t, tr))
 	fmt.Printf("aggregated-root SRPT     %.6g\n", lowerbound.AggregatedRootSRPT(t, tr))
 	fmt.Printf("combined bound           %.6g\n", lowerbound.Combined(t, tr))
 	fmt.Printf("best combinatorial bound %.6g\n", lowerbound.Best(t, tr))
 	if *useLP {
-		in, err := lp.Build(t, tr, *horizon)
+		in, err := lp.Build(t, tr, hz)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,10 +6,16 @@
 //	tracegen -n 1000 -process poisson -size uniform:1,16 -load 0.9 \
 //	         -capacity 2 [-burst 10] [-unrelated 8:0.5,2] [-eps 0.5] \
 //	         [-seed 1] -o trace.json
+//	tracegen -scenario run.json -o trace.json
 //
 // Size specs: uniform:lo,hi | bimodal:small,big,pbig | pareto:min,alpha,cap.
 // -eps > 0 rounds all sizes to powers of (1+eps).
 // -unrelated LEAVES:lo,hi attaches per-leaf processing times.
+//
+// The flags assemble the workload half of a scenario.Scenario;
+// -scenario loads a full scenario instead and regenerates its trace,
+// and -dump-scenario prints the assembled scenario as JSON. With no
+// topology the load is calibrated against -capacity (default 1).
 package main
 
 import (
@@ -18,8 +24,7 @@ import (
 	"os"
 
 	"treesched/internal/cli"
-	"treesched/internal/rng"
-	"treesched/internal/workload"
+	"treesched/internal/scenario"
 )
 
 func main() {
@@ -33,40 +38,72 @@ func main() {
 	unrelated := flag.String("unrelated", "", "LEAVES:lo,hi per-leaf sizes")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	scenFile := flag.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
+	dump := flag.Bool("dump-scenario", false, "print the scenario as JSON and exit without generating")
 	flag.Parse()
 
-	size, err := cli.ParseSize(*sizeSpec)
-	if err != nil {
-		fatal(err)
-	}
-	r := rng.New(*seed)
-	cfg := workload.GenConfig{N: *n, Size: size, Load: *load, Capacity: *capacity}
-	var tr *workload.Trace
-	switch *process {
-	case "poisson":
-		tr, err = workload.Poisson(r, cfg)
-	case "bursty":
-		tr, err = workload.Bursty(r, cfg, *burst)
-	case "adversarial":
-		tr = workload.Adversarial(r, *n, 32)
-	default:
-		err = fmt.Errorf("unknown process %q", *process)
-	}
-	if err != nil {
-		fatal(err)
-	}
-
-	if *unrelated != "" {
-		ucfg, err := cli.ParseUnrelated(*unrelated)
+	var sc *scenario.Scenario
+	if *scenFile != "" {
+		data, err := os.ReadFile(*scenFile)
 		if err != nil {
 			fatal(err)
 		}
-		if err := workload.MakeUnrelated(r, tr, ucfg); err != nil {
+		if sc, err = scenario.Load(data); err != nil {
 			fatal(err)
 		}
+	} else {
+		sizeSp, err := scenario.ParseSpec(*sizeSpec)
+		if err != nil {
+			fatal(err)
+		}
+		var processSp scenario.Spec
+		switch *process {
+		case "poisson":
+			processSp = scenario.NewSpec("poisson")
+		case "bursty":
+			processSp = scenario.NewSpec("bursty", float64(*burst))
+		case "adversarial":
+			// The adversarial pattern historically used big jobs of
+			// size 32.
+			processSp = scenario.NewSpec("adversarial", 32)
+		default:
+			fatal(fmt.Errorf("unknown process %q", *process))
+		}
+		sc = &scenario.Scenario{
+			Workload: scenario.Workload{
+				Process:  processSp,
+				N:        *n,
+				Size:     sizeSp,
+				Load:     *load,
+				Capacity: *capacity,
+				RoundEps: *eps,
+			},
+			Seed: *seed,
+		}
+		if *unrelated != "" {
+			ucfg, err := cli.ParseUnrelated(*unrelated)
+			if err != nil {
+				fatal(err)
+			}
+			sc.Workload.Unrelated = &scenario.Unrelated{
+				Lo: ucfg.Lo, Hi: ucfg.Hi, Leaves: ucfg.Leaves,
+			}
+		}
 	}
-	if *eps > 0 {
-		workload.RoundTraceToClasses(tr, *eps)
+	if *dump {
+		if err := sc.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Trace-only generation has no topology to derive capacity from.
+	if sc.Workload.Capacity == 0 {
+		sc.Workload.Capacity = 1
+	}
+	tr, err := sc.Workload.Generate(sc.Seed)
+	if err != nil {
+		fatal(err)
 	}
 
 	w := os.Stdout

@@ -6,13 +6,20 @@
 //	treesched -topo fattree:2,2,2 -n 2000 -load 0.9 -assigner greedy \
 //	          -policy sjf -speed 1.5 -eps 0.5 -seed 1 [-unrelated]
 //	          [-render] [-gantt] [-trace jobs.json]
+//	treesched -scenario run.json            # or a compact one-liner file
+//	treesched -topo star:4 -n 500 -dump-scenario > run.json
+//
+// The individual flags assemble a scenario.Scenario; -scenario loads
+// one from a file (JSON or the compact one-line form) instead, and
+// -dump-scenario prints the assembled scenario as JSON without
+// running it.
 //
 // Topologies: fattree:arity,depth,leaves | star:n | line:n |
 // caterpillar:spine,leaves | broomstick:branches,handle,leaves |
 // random:branches,maxdepth,maxchildren.
 // Assigners: greedy | shadow | closest | random | roundrobin |
 // leastvolume | minpath | jsq.
-// Policies: sjf | fifo | srpt | lcfs.
+// Policies: sjf | fifo | srpt | lcfs | ps | wsjf.
 package main
 
 import (
@@ -20,14 +27,11 @@ import (
 	"fmt"
 	"os"
 
-	"treesched/internal/cli"
 	"treesched/internal/core"
 	"treesched/internal/lowerbound"
 	"treesched/internal/metrics"
-	"treesched/internal/rng"
-	"treesched/internal/sim"
+	"treesched/internal/scenario"
 	"treesched/internal/trace"
-	"treesched/internal/workload"
 )
 
 func main() {
@@ -43,87 +47,106 @@ func main() {
 	packetized := flag.Bool("packetized", false, "unit-packet forwarding mode")
 	render := flag.Bool("render", false, "print the topology before running")
 	dot := flag.String("dot", "", "write the topology as Graphviz dot to this file")
-	checkLemmas := flag.Bool("checklemmas", false, "validate Lemma 1/2 bounds during the run (forces lemma speed profile: 1x root-adjacent, (1+eps)x elsewhere)")
+	checkLemmas := flag.Bool("checklemmas", false, "validate Lemma 1/2 bounds during the run (with the individual flags, forces the lemma speed profile: 1x root-adjacent, (1+eps)x elsewhere)")
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart (instrumented)")
 	traceOut := flag.String("trace", "", "write the generated workload trace to this JSON file")
 	resultOut := flag.String("result", "", "write per-job results to this JSON file")
+	scenFile := flag.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
+	dump := flag.Bool("dump-scenario", false, "print the scenario as JSON and exit without running")
 	flag.Parse()
 
-	t, err := cli.ParseTopo(*topo)
+	var sc *scenario.Scenario
+	if *scenFile != "" {
+		data, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fatal(err)
+		}
+		if sc, err = scenario.Load(data); err != nil {
+			fatal(err)
+		}
+	} else {
+		topoSpec, err := scenario.ParseSpec(*topo)
+		if err != nil {
+			fatal(err)
+		}
+		sc = &scenario.Scenario{
+			Topology: topoSpec,
+			Workload: scenario.Workload{
+				N:        *n,
+				Size:     scenario.NewSpec("uniform", 1, 16),
+				ClassEps: *eps,
+				Load:     *load,
+			},
+			Policy:   *policy,
+			Assigner: *assigner,
+			Eps:      *eps,
+			Seed:     *seed,
+			Engine: scenario.Engine{
+				Packetized: *packetized,
+				Instrument: *gantt || *checkLemmas,
+			},
+		}
+		if *unrelated {
+			sc.Workload.Unrelated = &scenario.Unrelated{Lo: 0.5, Hi: 2}
+			sc.Workload.RoundEps = *eps
+		}
+		if *checkLemmas {
+			// Lemmas 1-2 assume speed 1 on root-adjacent nodes and at
+			// least 1+eps elsewhere.
+			sc.Speed = scenario.Speed{RootAdjacent: 1, Router: 1 + *eps, Leaf: 1 + *eps}
+		} else {
+			sc.Speed = scenario.Speed{Uniform: *speed}
+		}
+	}
+	if *dump {
+		if err := sc.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	in, err := sc.Build()
 	if err != nil {
 		fatal(err)
 	}
 	if *render {
-		fmt.Print(trace.RenderTree(t))
+		fmt.Print(trace.RenderTree(in.Base))
 	}
 	if *dot != "" {
-		if err := os.WriteFile(*dot, []byte(trace.DOT(t)), 0o644); err != nil {
+		if err := os.WriteFile(*dot, []byte(trace.DOT(in.Base)), 0o644); err != nil {
 			fatal(err)
 		}
-	}
-	if *checkLemmas {
-		// Lemmas 1-2 assume speed 1 on root-adjacent nodes and at
-		// least 1+eps elsewhere.
-		t = t.WithSpeeds(1, 1+*eps, 1+*eps)
-	} else {
-		t = t.WithUniformSpeed(*speed)
-	}
-
-	r := rng.New(*seed)
-	tr, err := workload.Poisson(r, workload.GenConfig{
-		N:        *n,
-		Size:     workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 16}, Eps: *eps},
-		Load:     *load,
-		Capacity: float64(len(t.RootAdjacent())),
-	})
-	if err != nil {
-		fatal(err)
-	}
-	if *unrelated {
-		if err := workload.MakeUnrelated(r, tr, workload.UnrelatedConfig{Leaves: len(t.Leaves()), Lo: 0.5, Hi: 2}); err != nil {
-			fatal(err)
-		}
-		workload.RoundTraceToClasses(tr, *eps)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fatal(err)
 		}
-		if err := tr.WriteJSON(f); err != nil {
+		if err := in.Trace.WriteJSON(f); err != nil {
 			fatal(err)
 		}
 		f.Close()
 	}
 
-	asg, err := cli.ParseAssigner(*assigner, t, *eps, *unrelated, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	pol, err := cli.ParsePolicy(*policy)
-	if err != nil {
-		fatal(err)
-	}
 	var lemma2 *core.Lemma2Checker
-	opts := sim.Options{Policy: pol, Instrument: *gantt || *checkLemmas}
 	if *checkLemmas {
-		lemma2 = &core.Lemma2Checker{Eps: *eps, Unrelated: *unrelated, SampleStride: 5}
-		opts.Observer = lemma2.Observe
+		in.Opts.Instrument = true
+		lemma2 = &core.Lemma2Checker{Eps: sc.EffEps(), Unrelated: sc.Workload.Heterogeneous(), SampleStride: 5}
+		in.Opts.Observer = lemma2.Observe
 	}
-	run := sim.Run
-	if *packetized {
-		run = sim.RunPacketized
+	if *gantt {
+		in.Opts.Instrument = true
 	}
-	res, err := run(t, tr, asg, opts)
+	res, err := in.Run()
 	if err != nil {
 		fatal(err)
 	}
 
-	lb := lowerbound.Best(t, tr)
+	lb := lowerbound.Best(in.Tree, in.Trace)
 	sum := metrics.FlowSummary(res)
-	fmt.Printf("topology        %s (%d nodes, %d machines)\n", *topo, t.NumNodes(), len(t.Leaves()))
-	fmt.Printf("workload        %d jobs, load %.2f, seed %d\n", *n, *load, *seed)
-	fmt.Printf("scheduler       %s + %s, speed %.2f\n", asg.Name(), pol.Name(), *speed)
+	fmt.Printf("topology        %s (%d nodes, %d machines)\n", sc.Topology, in.Tree.NumNodes(), len(in.Tree.Leaves()))
+	fmt.Printf("workload        %d jobs, load %.2f, seed %d\n", sc.Workload.N, sc.Workload.Load, sc.Seed)
+	fmt.Printf("scheduler       %s + %s, speed %.2f\n", in.Assigner.Name(), in.Opts.Policy.Name(), printedSpeed(sc, *scenFile == "", *speed))
 	fmt.Printf("total flow      %.4g\n", res.Stats.TotalFlow)
 	fmt.Printf("fractional flow %.4g\n", res.Stats.FracFlow)
 	fmt.Printf("flow/job        %s\n", sum)
@@ -132,7 +155,7 @@ func main() {
 	b := metrics.Bottleneck(res)
 	fmt.Printf("bottleneck      node %d at %.1f%% busy\n", b.Node, 100*b.Busy)
 	if *checkLemmas {
-		rep1 := core.CheckLemma1(res, *eps, *unrelated)
+		rep1 := core.CheckLemma1(res, sc.EffEps(), sc.Workload.Heterogeneous())
 		fmt.Printf("Lemma 1         %d jobs, max ratio %.4f, violations %d\n", rep1.Jobs, rep1.MaxRatio, rep1.Violations)
 		fmt.Printf("Lemma 2         %d checks, max ratio %.4f, violations %d\n", lemma2.Checks, lemma2.MaxRatio, lemma2.Violations)
 	}
@@ -151,6 +174,24 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// printedSpeed preserves the historical report line: the flag path
+// always printed the -speed value (even under -checklemmas, which
+// overrides the profile); scenario files print their own profile's
+// uniform speed, or the router speed of a per-level triple.
+func printedSpeed(sc *scenario.Scenario, fromFlags bool, speedFlag float64) float64 {
+	if fromFlags {
+		return speedFlag
+	}
+	switch {
+	case sc.Speed.Uniform != 0:
+		return sc.Speed.Uniform
+	case sc.Speed.Router != 0:
+		return sc.Speed.Router
+	default:
+		return 1
 	}
 }
 

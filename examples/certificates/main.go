@@ -6,6 +6,9 @@
 // the optimal total flow time of this very instance, and hence an
 // upper bound on the algorithm's competitive ratio on it.
 //
+// The instances come from a declarative workload spec — the same
+// generator scenario files use — fed to the dual-fitting harness.
+//
 //	go run ./examples/certificates
 package main
 
@@ -14,8 +17,6 @@ import (
 	"log"
 
 	"treesched"
-	"treesched/internal/rng"
-	"treesched/internal/workload"
 )
 
 func main() {
@@ -27,12 +28,11 @@ func main() {
 	fmt.Printf("%-6s %-10s %-10s %-12s %-14s %-10s\n",
 		"eps", "C4 viol", "C5 viol", "frac cost", "certified LB", "ratio<=")
 	for _, eps := range []float64{0.1, 0.25, 0.5} {
-		trace, err := workload.Poisson(rng.New(101), workload.GenConfig{
-			N:        1000,
-			Size:     workload.ClassRounded{Base: treesched.UniformSize{Lo: 1, Hi: 16}, Eps: eps},
-			Load:     0.9,
-			Capacity: float64(len(stick.RootAdjacent())),
-		})
+		w := treesched.ScenarioWorkload{
+			N: 1000, Size: treesched.NewSpec("uniform", 1, 16), ClassEps: eps,
+			Load: 0.9, Capacity: float64(len(stick.RootAdjacent())),
+		}
+		trace, err := w.Generate(101)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,9 @@
 // jobs). The example sweeps load and shows how each assignment policy
 // degrades, plus where the fabric saturates.
 //
+// Every cell is the same declarative Scenario with one knob turned:
+// the assigner name, the load, or the uniform speed.
+//
 //	go run ./examples/datacenter
 package main
 
@@ -15,41 +18,37 @@ import (
 
 	"treesched"
 	"treesched/internal/metrics"
-	"treesched/internal/rng"
 	"treesched/internal/table"
-	"treesched/internal/workload"
 )
 
 func main() {
-	// 3-ary fabric, 2 aggregation levels, 3 machines per rack: 40
-	// nodes, 27 machines.
-	fabric := treesched.FatTree(3, 2, 3)
-
-	// Elephants and mice: 95% small transfers, 5% hundred-unit jobs.
-	sizes := treesched.BimodalSize{Small: 1, Big: 100, PBig: 0.05}
-
-	assigners := map[string]func() treesched.Assigner{
-		"greedy (paper)": func() treesched.Assigner { return treesched.NewGreedyIdentical(0.5) },
-		"closest leaf":   func() treesched.Assigner { return treesched.ClosestLeaf{} },
-		"round robin":    func() treesched.Assigner { return &treesched.RoundRobin{} },
-		"least volume":   func() treesched.Assigner { return treesched.LeastVolume{} },
+	// 3-ary fabric, 2 aggregation levels, 3 machines per rack (40
+	// nodes, 27 machines); elephants and mice: 95% small transfers, 5%
+	// hundred-unit jobs.
+	cell := func(assigner string, load float64) *treesched.Scenario {
+		return &treesched.Scenario{
+			Topology: treesched.NewSpec("fattree", 3, 2, 3),
+			Workload: treesched.ScenarioWorkload{
+				N: 3000, Size: treesched.NewSpec("bimodal", 1, 100, 0.05), Load: load,
+			},
+			Assigner: assigner,
+			Seed:     7,
+		}
 	}
-	order := []string{"greedy (paper)", "closest leaf", "round robin", "least volume"}
 
+	rules := []struct{ label, assigner string }{
+		{"greedy (paper)", "greedy-identical"},
+		{"closest leaf", "closest"},
+		{"round robin", "roundrobin"},
+		{"least volume", "leastvolume"},
+	}
 	tb := table.New("Average flow time by offered load (3-ary fabric, elephants & mice)",
 		"assigner", "load 0.4", "load 0.7", "load 0.9")
 	loads := []float64{0.4, 0.7, 0.9}
-	for _, name := range order {
-		row := []interface{}{name}
+	for _, rule := range rules {
+		row := []interface{}{rule.label}
 		for _, load := range loads {
-			trace, err := workload.Poisson(rng.New(7), workload.GenConfig{
-				N: 3000, Size: sizes, Load: load,
-				Capacity: float64(len(fabric.RootAdjacent())),
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := treesched.Run(fabric, trace, assigners[name](), treesched.Options{})
+			res, err := treesched.RunScenario(cell(rule.assigner, load))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -60,15 +59,15 @@ func main() {
 	fmt.Print(tb.Text())
 
 	// Where does the fabric saturate? Show the bottleneck at high load.
-	trace, err := workload.Poisson(rng.New(7), workload.GenConfig{
-		N: 3000, Size: sizes, Load: 0.9,
-		Capacity: float64(len(fabric.RootAdjacent())),
-	})
+	// Observers are code, not data, so they attach to the built
+	// instance rather than the scenario.
+	in, err := cell("greedy-identical", 0.9).Build()
 	if err != nil {
 		log.Fatal(err)
 	}
 	qs := metrics.NewQueueSampler()
-	res, err := treesched.Run(fabric, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{Observer: qs.Observe})
+	in.Opts.Observer = qs.Observe
+	res, err := in.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +80,9 @@ func main() {
 	// How much does upgrading the fabric (resource augmentation) buy?
 	fmt.Println("\nspeed-upgrade sweep (greedy):")
 	for _, s := range []float64{1.0, 1.25, 1.5, 2.0} {
-		res, err := treesched.Run(fabric.WithUniformSpeed(s), trace, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+		sc := cell("greedy-identical", 0.9)
+		sc.Speed = treesched.ScenarioSpeed{Uniform: s}
+		res, err := treesched.RunScenario(sc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,9 +1,10 @@
 // Heterogeneous: the unrelated-endpoint setting of Theorem 2 —
 // machines differ per job (GPU vs CPU racks, data locality, ...), so a
 // job's processing time depends on which machine it lands on. The
-// example runs the paper's unrelated greedy rule and the Section 3.7
-// shadow algorithm on an irregular tree, checks the Lemma 8 relation,
-// and shows the broomstick the shadow simulates.
+// example registers an irregular custom topology under a scenario
+// name, runs the paper's unrelated greedy rule and the Section 3.7
+// shadow algorithm on it, checks the Lemma 8 relation, and shows the
+// broomstick the shadow simulates.
 //
 //	go run ./examples/heterogeneous
 package main
@@ -13,58 +14,63 @@ import (
 	"log"
 
 	"treesched"
-	"treesched/internal/rng"
 	"treesched/internal/trace"
 	"treesched/internal/tree"
-	"treesched/internal/workload"
 )
 
 func main() {
 	// An irregular cluster: one shallow rack and one deep wing.
-	b := treesched.NewBuilder()
-	rack := b.AddRouter(b.Root())
-	b.AddLeaf(rack)
-	b.AddLeaf(rack)
-	wing := b.AddRouter(b.Root())
-	mid := b.AddRouter(wing)
-	b.AddLeaf(mid)
-	deep := b.AddRouter(mid)
-	b.AddLeaf(deep)
-	b.AddLeaf(deep)
-	cluster, err := b.Finalize()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Unrelated machine affinities: each job is 2-4x slower on a
-	// random subset of machines.
-	r := rng.New(21)
-	traceU, err := workload.Poisson(r, workload.GenConfig{
-		N:        1500,
-		Size:     workload.ClassRounded{Base: treesched.UniformSize{Lo: 1, Hi: 16}, Eps: 0.5},
-		Load:     0.85,
-		Capacity: float64(len(cluster.RootAdjacent())),
+	// Registering it makes "irregular-cluster" addressable from any
+	// scenario spec (including files run via treesched -scenario).
+	treesched.RegisterTopology(treesched.TopoEntry{
+		Name: "irregular-cluster",
+		Build: func([]int) *treesched.Tree {
+			b := treesched.NewBuilder()
+			rack := b.AddRouter(b.Root())
+			b.AddLeaf(rack)
+			b.AddLeaf(rack)
+			wing := b.AddRouter(b.Root())
+			mid := b.AddRouter(wing)
+			b.AddLeaf(mid)
+			deep := b.AddRouter(mid)
+			b.AddLeaf(deep)
+			b.AddLeaf(deep)
+			return b.MustFinalize()
+		},
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := workload.MakeUnrelated(r, traceU, workload.UnrelatedConfig{
-		Leaves: len(cluster.Leaves()), Lo: 0.8, Hi: 1.2, PInfeasible: 0.3, Penalty: 3,
-	}); err != nil {
-		log.Fatal(err)
+
+	// Unrelated machine affinities: each job is slower on a random
+	// subset of machines and infeasible on some.
+	sc := &treesched.Scenario{
+		Topology: treesched.NewSpec("irregular-cluster"),
+		Workload: treesched.ScenarioWorkload{
+			N: 1500, Size: treesched.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.85,
+			Unrelated: &treesched.ScenarioUnrelated{Lo: 0.8, Hi: 1.2, PInfeasible: 0.3, Penalty: 3},
+		},
+		Assigner: "greedy-unrelated",
+		Seed:     21,
 	}
 
 	// The unrelated greedy rule, directly on the cluster.
-	direct, err := treesched.Run(cluster, traceU, treesched.NewGreedyUnrelated(0.5), treesched.Options{})
+	in, err := sc.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
+	direct, err := in.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := in.Base
+
 	// The analyzable Section 3.7 algorithm: simulate the broomstick.
-	sh, err := treesched.NewShadow(cluster, treesched.ShadowConfig{Eps: 0.5, Unrelated: true})
+	scShadow := *sc
+	scShadow.Assigner = "shadow"
+	inShadow, err := scShadow.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
-	shadowRes, err := treesched.Run(cluster, traceU, sh, treesched.Options{})
+	sh := inShadow.Assigner.(*treesched.Shadow)
+	shadowRes, err := inShadow.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +78,9 @@ func main() {
 	rep := treesched.CheckLemma8(shadowRes, sh)
 
 	// An affinity-blind baseline.
-	blind, err := treesched.Run(cluster, traceU, &treesched.RoundRobin{}, treesched.Options{})
+	scBlind := *sc
+	scBlind.Assigner = "roundrobin"
+	blind, err := treesched.RunScenario(&scBlind)
 	if err != nil {
 		log.Fatal(err)
 	}

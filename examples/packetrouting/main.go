@@ -6,6 +6,10 @@
 // the unit-packet pipelining the paper says negates interior
 // congestion, and renders the schedule.
 //
+// Both halves are declarative scenarios: the first pair differs only
+// in the engine's packetized flag, and the zoomed-in instance is an
+// inline-jobs scenario (the JSON-only form).
+//
 //	go run ./examples/packetrouting
 package main
 
@@ -14,34 +18,27 @@ import (
 	"log"
 
 	"treesched"
-	"treesched/internal/rng"
 	"treesched/internal/trace"
-	"treesched/internal/workload"
 )
 
 func main() {
 	// A 5-router line ending in one machine: the bus/collection-site
-	// topology.
-	line := treesched.Line(5)
-
-	gen := func() *treesched.Trace {
-		tr, err := workload.Poisson(rng.New(11), workload.GenConfig{
-			N:        400,
-			Size:     treesched.UniformSize{Lo: 2, Hi: 12},
-			Load:     0.6,
-			Capacity: 1,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return tr
+	// topology, 400 messages at 60% of the line's capacity.
+	sc := &treesched.Scenario{
+		Topology: treesched.NewSpec("line", 5),
+		Workload: treesched.ScenarioWorkload{
+			N: 400, Size: treesched.NewSpec("uniform", 2, 12), Load: 0.6,
+		},
+		Assigner: "closest",
+		Seed:     11,
 	}
-
-	sf, err := treesched.Run(line, gen(), treesched.ClosestLeaf{}, treesched.Options{})
+	sf, err := treesched.RunScenario(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pk, err := treesched.RunPacketized(line, gen(), treesched.ClosestLeaf{}, treesched.Options{})
+	scPk := *sc
+	scPk.Engine.Packetized = true
+	pk, err := treesched.RunScenario(&scPk)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,14 +47,19 @@ func main() {
 	fmt.Printf("packet-pipelined avg flow:  %.2f\n", pk.AvgFlow())
 	fmt.Printf("pipelining speedup:         %.2fx\n", sf.AvgFlow()/pk.AvgFlow())
 
-	// Zoom in: a tiny deterministic instance with a visible schedule.
-	small := treesched.Line(2)
-	jobs := &treesched.Trace{Jobs: []treesched.Job{
-		{ID: 0, Release: 0, Size: 4},
-		{ID: 1, Release: 1, Size: 2},
-		{ID: 2, Release: 2, Size: 1},
-	}}
-	res, err := treesched.Run(small, jobs, treesched.ClosestLeaf{}, treesched.Options{Instrument: true})
+	// Zoom in: a tiny deterministic instance with a visible schedule,
+	// expressed as an inline-jobs scenario.
+	small := &treesched.Scenario{
+		Topology: treesched.NewSpec("line", 2),
+		Workload: treesched.ScenarioWorkload{Jobs: []treesched.Job{
+			{ID: 0, Release: 0, Size: 4},
+			{ID: 1, Release: 1, Size: 2},
+			{ID: 2, Release: 2, Size: 1},
+		}},
+		Assigner: "closest",
+		Engine:   treesched.ScenarioEngine{Instrument: true},
+	}
+	res, err := treesched.RunScenario(small)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,11 @@
 // (greedy leaf assignment + SJF on every node), and compare against a
 // congestion-oblivious baseline.
 //
+// The whole setup is one declarative Scenario value; swapping the
+// assigner name is the only difference between the three runs. The
+// same scenario can be saved with WriteJSON and replayed by
+// cmd/treesched -scenario.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -15,44 +20,52 @@ import (
 
 func main() {
 	// A 2-ary fat tree with two router levels and two machines per
-	// bottom router: 15 nodes, 8 machines (the shape of Figure 1).
-	network := treesched.FatTree(2, 2, 2)
-
-	// 2000 jobs arrive online at the root (Poisson arrivals at 90%
-	// of the root-link capacity, sizes in powers of 1.5).
-	trace, err := treesched.PoissonTrace(1, 2000, 0.9, network)
+	// bottom router (15 nodes, 8 machines — the shape of Figure 1);
+	// 2000 jobs arrive online at the root (Poisson arrivals at 90% of
+	// the root-link capacity, sizes in powers of 1.5); the paper's
+	// scheduler: greedy congestion-aware leaf assignment (Section 3.4)
+	// with Shortest-Job-First on every router/machine.
+	sc := &treesched.Scenario{
+		Topology: treesched.NewSpec("fattree", 2, 2, 2),
+		Workload: treesched.ScenarioWorkload{
+			N: 2000, Size: treesched.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.9,
+		},
+		Assigner: "greedy-identical",
+		Seed:     1,
+	}
+	in, err := sc.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := in.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The paper's scheduler: greedy congestion-aware leaf assignment
-	// (Section 3.4) with Shortest-Job-First on every router/machine.
-	greedy := treesched.NewGreedyIdentical(0.5)
-	res, err := treesched.Run(network, trace, greedy, treesched.Options{})
-	if err != nil {
-		log.Fatal(err)
+	// Two baselines on the same trace: proximity-based assignment (the
+	// natural-looking policy Section 3.1 explains must fail under
+	// congestion) and oblivious round robin (hard to beat on a
+	// perfectly symmetric tree with smooth arrivals — greedy's
+	// guarantee is that it never collapses, not that it wins every
+	// benign instance).
+	run := func(assigner string) *treesched.Result {
+		alt := *sc
+		alt.Assigner = assigner
+		r, err := treesched.RunScenario(&alt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
 	}
+	closest := run("closest")
+	rr := run("roundrobin")
 
-	// Two baselines: proximity-based assignment (the natural-looking
-	// policy Section 3.1 explains must fail under congestion) and
-	// oblivious round robin (hard to beat on a perfectly symmetric
-	// tree with smooth arrivals — greedy's guarantee is that it never
-	// collapses, not that it wins every benign instance).
-	closest, err := treesched.Run(network, trace, treesched.ClosestLeaf{}, treesched.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rr, err := treesched.Run(network, trace, &treesched.RoundRobin{}, treesched.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	lb := treesched.OPTLowerBound(network, trace)
-	fmt.Printf("jobs:                  %d\n", len(trace.Jobs))
+	lb := treesched.OPTLowerBound(in.Base, in.Trace)
+	fmt.Printf("jobs:                  %d\n", len(in.Trace.Jobs))
 	fmt.Printf("greedy avg flow time:  %.2f\n", res.AvgFlow())
 	fmt.Printf("closest-leaf avg flow: %.2f  (%.1fx worse)\n", closest.AvgFlow(), closest.AvgFlow()/res.AvgFlow())
 	fmt.Printf("round-robin avg flow:  %.2f\n", rr.AvgFlow())
-	fmt.Printf("OPT lower bound:       %.2f/job\n", lb/float64(len(trace.Jobs)))
+	fmt.Printf("OPT lower bound:       %.2f/job\n", lb/float64(len(in.Trace.Jobs)))
 	fmt.Printf("competitive ratio <=   %.3f (vs speed-1 OPT)\n", res.Stats.TotalFlow/lb)
 	fmt.Printf("max flow time:         %.2f (greedy) vs %.2f (closest)\n",
 		res.Stats.MaxFlow, closest.Stats.MaxFlow)

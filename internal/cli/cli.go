@@ -1,6 +1,12 @@
 // Package cli parses the compact topology / size-distribution /
 // policy / assigner specifications shared by the command-line tools
 // (cmd/treesched, cmd/lpbound, cmd/tracegen).
+//
+// Deprecated: the spec grammar now lives in the registries of
+// package treesched/internal/scenario; these wrappers only add the
+// historical "cli: " error prefix and will not grow new entries. New
+// code should use scenario.Parse*/Build* (or whole Scenario values)
+// directly.
 package cli
 
 import (
@@ -8,167 +14,64 @@ import (
 	"strconv"
 	"strings"
 
-	"treesched/internal/core"
-	"treesched/internal/rng"
-	"treesched/internal/sched"
+	"treesched/internal/scenario"
 	"treesched/internal/sim"
 	"treesched/internal/tree"
 	"treesched/internal/workload"
 )
 
+// wrap prepends the historical package prefix, preserving the exact
+// pre-registry error text (pinned byte for byte by cli_test.go).
+func wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("cli: %w", err)
+}
+
 // ParseTopo builds a topology from a spec like "fattree:2,2,2",
 // "star:4", "line:3", "caterpillar:4,2", "broomstick:2,3,1" or
 // "random:2,4,2" (random uses a fixed seed so specs are reproducible).
-func ParseTopo(spec string) (t *tree.Tree, err error) {
-	// The generators panic on out-of-range parameters (they are
-	// programming errors in library use); for CLI input translate
-	// panics into errors.
-	defer func() {
-		if r := recover(); r != nil {
-			t, err = nil, fmt.Errorf("cli: topology %q: %v", spec, r)
-		}
-	}()
-	name, args, err := splitSpec(spec)
-	if err != nil {
-		return nil, err
-	}
-	ints := make([]int, len(args))
-	for i, a := range args {
-		v, err := strconv.Atoi(a)
-		if err != nil {
-			return nil, fmt.Errorf("cli: topology %q: arg %q is not an integer", spec, a)
-		}
-		ints[i] = v
-	}
-	need := func(k int) error {
-		if len(ints) != k {
-			return fmt.Errorf("cli: topology %s needs %d args, got %d", name, k, len(ints))
-		}
-		return nil
-	}
-	switch name {
-	case "fattree":
-		if err := need(3); err != nil {
-			return nil, err
-		}
-		return tree.FatTree(ints[0], ints[1], ints[2]), nil
-	case "star":
-		if err := need(1); err != nil {
-			return nil, err
-		}
-		return tree.Star(ints[0]), nil
-	case "line":
-		if err := need(1); err != nil {
-			return nil, err
-		}
-		return tree.Line(ints[0]), nil
-	case "caterpillar":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return tree.Caterpillar(ints[0], ints[1]), nil
-	case "broomstick":
-		if err := need(3); err != nil {
-			return nil, err
-		}
-		return tree.BroomstickTree(ints[0], ints[1], ints[2]), nil
-	case "random":
-		if err := need(3); err != nil {
-			return nil, err
-		}
-		return tree.Random(rng.New(12345), tree.RandomConfig{
-			Branches: ints[0], MaxDepth: ints[1], MaxChildren: ints[2], LeafProb: 0.45,
-		}), nil
-	default:
-		return nil, fmt.Errorf("cli: unknown topology %q (want fattree|star|line|caterpillar|broomstick|random)", name)
-	}
+//
+// Deprecated: use scenario.ParseTopo.
+func ParseTopo(spec string) (*tree.Tree, error) {
+	t, err := scenario.ParseTopo(spec)
+	return t, wrap(err)
 }
 
 // ParseSize builds a size distribution from a spec like
 // "uniform:1,16", "bimodal:1,100,0.05" or "pareto:1,1.5,200".
+//
+// Deprecated: use scenario.ParseSize.
 func ParseSize(spec string) (workload.SizeDist, error) {
-	name, args, err := splitSpec(spec)
-	if err != nil {
-		return nil, err
-	}
-	fs := make([]float64, len(args))
-	for i, a := range args {
-		v, err := strconv.ParseFloat(a, 64)
-		if err != nil {
-			return nil, fmt.Errorf("cli: size %q: arg %q is not a number", spec, a)
-		}
-		fs[i] = v
-	}
-	switch name {
-	case "uniform":
-		if len(fs) != 2 {
-			return nil, fmt.Errorf("cli: uniform needs lo,hi")
-		}
-		return workload.UniformSize{Lo: fs[0], Hi: fs[1]}, nil
-	case "bimodal":
-		if len(fs) != 3 {
-			return nil, fmt.Errorf("cli: bimodal needs small,big,pbig")
-		}
-		return workload.BimodalSize{Small: fs[0], Big: fs[1], PBig: fs[2]}, nil
-	case "pareto":
-		if len(fs) != 3 {
-			return nil, fmt.Errorf("cli: pareto needs min,alpha,cap")
-		}
-		return workload.ParetoSize{Min: fs[0], Alpha: fs[1], Cap: fs[2]}, nil
-	default:
-		return nil, fmt.Errorf("cli: unknown size distribution %q (want uniform|bimodal|pareto)", name)
-	}
+	d, err := scenario.ParseSize(spec)
+	return d, wrap(err)
 }
 
 // ParsePolicy resolves a node scheduling policy name.
+//
+// Deprecated: use scenario.ParsePolicy.
 func ParsePolicy(name string) (sim.Policy, error) {
-	switch name {
-	case "sjf":
-		return sim.SJF{}, nil
-	case "fifo":
-		return sim.FIFO{}, nil
-	case "srpt":
-		return sim.SRPT{}, nil
-	case "lcfs":
-		return sim.LCFS{}, nil
-	case "ps":
-		return sim.PS{}, nil
-	default:
-		return nil, fmt.Errorf("cli: unknown policy %q (want sjf|fifo|srpt|lcfs|ps)", name)
-	}
+	p, err := scenario.ParsePolicy(name)
+	return p, wrap(err)
 }
 
 // ParseAssigner resolves a leaf-assignment policy. The tree is needed
 // by the shadow algorithm; eps parameterizes the greedy rules;
 // unrelated selects the unrelated-endpoint variants; seed feeds the
-// randomized baseline.
+// randomized baseline (historically as rng.New(seed+1)).
+//
+// Deprecated: use scenario.ParseAssigner.
 func ParseAssigner(name string, t *tree.Tree, eps float64, unrelated bool, seed uint64) (sim.Assigner, error) {
-	switch name {
-	case "greedy":
-		if unrelated {
-			return core.NewGreedyUnrelated(eps), nil
-		}
-		return core.NewGreedyIdentical(eps), nil
-	case "shadow":
-		return core.NewShadow(t, core.ShadowConfig{Eps: eps, Unrelated: unrelated})
-	case "closest":
-		return sched.ClosestLeaf{}, nil
-	case "random":
-		return &sched.RandomLeaf{R: rng.New(seed + 1)}, nil
-	case "roundrobin":
-		return &sched.RoundRobin{}, nil
-	case "leastvolume":
-		return sched.LeastVolume{}, nil
-	case "minpath":
-		return sched.MinPathWork{}, nil
-	case "jsq":
-		return sched.JoinShortestQueue{}, nil
-	default:
-		return nil, fmt.Errorf("cli: unknown assigner %q (want greedy|shadow|closest|random|roundrobin|leastvolume|minpath|jsq)", name)
-	}
+	a, err := scenario.ParseAssigner(name, scenario.AssignerContext{
+		Tree: t, Eps: eps, Unrelated: unrelated, Seed: seed + 1,
+	})
+	return a, wrap(err)
 }
 
 // ParseUnrelated parses "LEAVES:lo,hi" into an UnrelatedConfig.
+//
+// Deprecated: set the unrelated fields of a scenario.Workload.
 func ParseUnrelated(spec string) (workload.UnrelatedConfig, error) {
 	leavesStr, rangeStr, ok := strings.Cut(spec, ":")
 	if !ok {
@@ -191,17 +94,4 @@ func ParseUnrelated(spec string) (workload.UnrelatedConfig, error) {
 		return workload.UnrelatedConfig{}, err
 	}
 	return workload.UnrelatedConfig{Leaves: leaves, Lo: lo, Hi: hi}, nil
-}
-
-func splitSpec(spec string) (name string, args []string, err error) {
-	name, argstr, _ := strings.Cut(spec, ":")
-	if name == "" {
-		return "", nil, fmt.Errorf("cli: empty spec")
-	}
-	if argstr != "" {
-		for _, a := range strings.Split(argstr, ",") {
-			args = append(args, strings.TrimSpace(a))
-		}
-	}
-	return name, args, nil
 }

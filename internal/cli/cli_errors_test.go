@@ -1,0 +1,101 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"treesched/internal/rng"
+	"treesched/internal/sched"
+	"treesched/internal/sim"
+)
+
+// The cli parsers are a thin shim over the scenario registries; these
+// tests pin every error message byte for byte so registry refactors
+// cannot silently change what the tools print.
+func TestParserErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		got  func() error
+		want string
+	}{
+		{"topo empty", func() error { _, err := ParseTopo(""); return err },
+			`cli: empty spec`},
+		{"topo bad int", func() error { _, err := ParseTopo("fattree:a,b,c"); return err },
+			`cli: topology "fattree:a,b,c": arg "a" is not an integer`},
+		{"topo float arg", func() error { _, err := ParseTopo("fattree:2.5,2,2"); return err },
+			`cli: topology "fattree:2.5,2,2": arg "2.5" is not an integer`},
+		{"topo arg count", func() error { _, err := ParseTopo("fattree:2,2"); return err },
+			`cli: topology fattree needs 3 args, got 2`},
+		{"topo extra args", func() error { _, err := ParseTopo("star:1,2"); return err },
+			`cli: topology star needs 1 args, got 2`},
+		{"topo unknown", func() error { _, err := ParseTopo("mesh:2"); return err },
+			`cli: unknown topology "mesh" (want fattree|star|line|caterpillar|broomstick|random)`},
+		{"size arg count", func() error { _, err := ParseSize("uniform:1"); return err },
+			`cli: uniform needs lo,hi`},
+		{"size bimodal count", func() error { _, err := ParseSize("bimodal:1,100"); return err },
+			`cli: bimodal needs small,big,pbig`},
+		{"size pareto count", func() error { _, err := ParseSize("pareto:1,1.5"); return err },
+			`cli: pareto needs min,alpha,cap`},
+		{"size bad number", func() error { _, err := ParseSize("uniform:x,16"); return err },
+			`cli: size "uniform:x,16": arg "x" is not a number`},
+		{"size unknown", func() error { _, err := ParseSize("normal:0,1"); return err },
+			`cli: unknown size distribution "normal" (want uniform|bimodal|pareto)`},
+		{"policy unknown", func() error { _, err := ParsePolicy("edf"); return err },
+			`cli: unknown policy "edf" (want sjf|fifo|srpt|lcfs|ps|wsjf)`},
+		{"assigner unknown", func() error { _, err := ParseAssigner("oracle", nil, 0.5, false, 1); return err },
+			`cli: unknown assigner "oracle" (want greedy|greedy-identical|greedy-unrelated|shadow|closest|random|roundrobin|leastvolume|minpath|jsq)`},
+		{"unrelated no colon", func() error { _, err := ParseUnrelated("8"); return err },
+			`cli: unrelated spec "8" wants LEAVES:lo,hi`},
+		{"unrelated bad leaves", func() error { _, err := ParseUnrelated("x:1,2"); return err },
+			`cli: unrelated leaves "x": strconv.Atoi: parsing "x": invalid syntax`},
+		{"unrelated bad range", func() error { _, err := ParseUnrelated("8:1"); return err },
+			`cli: unrelated range "1" wants lo,hi`},
+	}
+	for _, c := range cases {
+		err := c.got()
+		if err == nil {
+			t.Fatalf("%s: no error", c.name)
+		}
+		if err.Error() != c.want {
+			t.Fatalf("%s:\n got  %q\n want %q", c.name, err.Error(), c.want)
+		}
+	}
+}
+
+// Generator panics (out-of-range shape parameters) must come back as
+// errors carrying the spec context prefix.
+func TestParseTopoPanicRecovery(t *testing.T) {
+	for _, spec := range []string{"line:0", "fattree:0,1,1", "star:-3"} {
+		_, err := ParseTopo(spec)
+		if err == nil {
+			t.Fatalf("spec %q accepted", spec)
+		}
+		wantPrefix := `cli: topology "` + spec + `": `
+		if !strings.HasPrefix(err.Error(), wantPrefix) {
+			t.Fatalf("spec %q: error %q lacks prefix %q", spec, err.Error(), wantPrefix)
+		}
+	}
+}
+
+// The randomized baseline must keep its historical seeding (seed+1):
+// the shim's assigner must make exactly the same choices as a
+// hand-built RandomLeaf.
+func TestParseAssignerRandomSeedCompat(t *testing.T) {
+	tr, err := ParseTopo("fattree:2,2,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 7
+	got, err := ParseAssigner("random", tr, 0.5, false, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &sched.RandomLeaf{R: rng.New(seed + 1)}
+	s := sim.New(tr, sim.Options{})
+	for i := 0; i < 50; i++ {
+		a := sim.Arrival{ID: i, Size: 1}
+		if g, w := got.Assign(s.Query(), &a), want.Assign(s.Query(), &a); g != w {
+			t.Fatalf("draw %d: shim chose leaf %d, direct rng.New(seed+1) chose %d", i, g, w)
+		}
+	}
+}

@@ -6,8 +6,7 @@ import (
 
 	"treesched/internal/core"
 	"treesched/internal/plot"
-	"treesched/internal/rng"
-	"treesched/internal/sched"
+	"treesched/internal/scenario"
 	"treesched/internal/sim"
 	"treesched/internal/table"
 	"treesched/internal/tree"
@@ -30,48 +29,50 @@ func init() {
 // volume-based baselines, across load levels and an adversarial trace.
 func runB1(cfg Config) (*Output, error) {
 	out := &Output{}
-	base := tree.FatTree(2, 2, 2)
 	n := cfg.scaled(2500)
-	mk := func() []sim.Assigner {
-		return []sim.Assigner{
-			core.NewGreedyIdentical(0.5),
-			sched.ClosestLeaf{},
-			&sched.RandomLeaf{R: rng.New(cfg.Seed + 99)},
-			&sched.RoundRobin{},
-			sched.LeastVolume{},
-			sched.MinPathWork{},
-			sched.JoinShortestQueue{},
-		}
-	}
+	// Registry names; each cell builds its own assigner through the
+	// scenario layer so stateful baselines (round robin, random) start
+	// fresh, exactly as the serial loop did. The randomized baseline
+	// keeps its historical rng seed via AssignerSeed.
+	assignerNames := []string{"greedy-identical", "closest", "random", "roundrobin", "leastvolume", "minpath", "jsq"}
 	tb := table.New("B1 — avg flow time by assigner and load (identical endpoints, SJF nodes)",
 		"assigner", "load 0.5", "load 0.8", "load 0.95", "adversarial")
 	loads := []float64{0.5, 0.8, 0.95}
 	cols := len(loads) + 1 // the last column is the adversarial trace
-	assigners := len(mk())
-	// One cell per (assigner, column); every cell builds its own
-	// assigner via mk() so stateful baselines (round robin, random)
-	// start fresh, exactly as the serial loop did.
-	vals, err := Sweep(cfg, assigners*cols, func(i int) (float64, error) {
+	type cell struct {
+		label string
+		flow  float64
+	}
+	vals, err := Sweep(cfg, len(assignerNames)*cols, func(i int) (cell, error) {
 		ai, ci := i/cols, i%cols
-		asg := mk()[ai]
-		var trace *workload.Trace
+		sc := &scenario.Scenario{
+			Topology:     scenario.NewSpec("fattree", 2, 2, 2),
+			Assigner:     assignerNames[ai],
+			AssignerSeed: cfg.Seed + 99,
+		}
 		if ci < len(loads) {
-			trace = poisson(cfg.rng(800+uint64(loads[ci]*100)), n, classSizes(0.5), loads[ci], float64(len(base.RootAdjacent())))
+			sc.Workload = scenario.Workload{N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: loads[ci]}
+			sc.Seed = cfg.seed(800 + uint64(loads[ci]*100))
 		} else {
-			trace = workload.Adversarial(cfg.rng(870), cfg.scaled(600), 32)
+			sc.Workload = scenario.Workload{Process: scenario.NewSpec("adversarial", 32), N: cfg.scaled(600)}
+			sc.Seed = cfg.seed(870)
 		}
-		res, err := sim.Run(base, trace, asg, sim.Options{})
+		in, err := sc.Build()
 		if err != nil {
-			return 0, err
+			return cell{}, err
 		}
-		return res.AvgFlow(), nil
+		res, err := in.Run()
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{in.Assigner.Name(), res.AvgFlow()}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for ai, asg := range mk() {
+	for ai := range assignerNames {
 		v := vals[ai*cols : (ai+1)*cols]
-		tb.AddRow(asg.Name(), v[0], v[1], v[2], v[3])
+		tb.AddRow(v[0].label, v[0].flow, v[1].flow, v[2].flow, v[3].flow)
 	}
 	tb.AddNote("ClosestLeaf funnels every job into one branch (all leaves tie on depth, ties break by ID) — the failure mode Section 3.1 warns about; congestion-aware rules stay flat as load rises")
 	out.add(tb)
@@ -82,18 +83,26 @@ func runB1(cfg Config) (*Output, error) {
 // heavy-tailed workload, where size-aware policies matter most.
 func runB2(cfg Config) (*Output, error) {
 	out := &Output{}
-	base := tree.FatTree(2, 2, 2)
 	n := cfg.scaled(2500)
-	sizes := workload.ParetoSize{Min: 1, Alpha: 1.5, Cap: 200}
 	tb := table.New("B2 — node policy comparison (LeastVolume assigner, Pareto sizes, load 0.9)",
 		"policy", "avg flow", "p99 flow", "max flow")
-	for _, pol := range []sim.Policy{sim.SJF{}, sim.SRPT{}, sim.FIFO{}, sim.LCFS{}, sim.PS{}} {
-		trace := poisson(cfg.rng(900), n, sizes, 0.9, float64(len(base.RootAdjacent())))
-		res, err := sim.Run(base, trace, sched.LeastVolume{}, sim.Options{Policy: pol})
+	for _, pol := range []string{"sjf", "srpt", "fifo", "lcfs", "ps"} {
+		sc := &scenario.Scenario{
+			Topology: scenario.NewSpec("fattree", 2, 2, 2),
+			Workload: scenario.Workload{N: n, Size: scenario.NewSpec("pareto", 1, 1.5, 200), Load: 0.9},
+			Policy:   pol,
+			Assigner: "leastvolume",
+			Seed:     cfg.seed(900),
+		}
+		in, err := sc.Build()
 		if err != nil {
 			return nil, err
 		}
-		tb.AddRow(pol.Name(), res.AvgFlow(), quantileFlow(res, 0.99), res.Stats.MaxFlow)
+		res, err := in.Run()
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(in.Opts.Policy.Name(), res.AvgFlow(), quantileFlow(res, 0.99), res.Stats.MaxFlow)
 	}
 	tb.AddNote("SJF/SRPT dominate on average flow, exactly why the paper builds on SJF; FIFO trades average for tail; PS (fair-queueing routers, the deployed default) sits in between — the cost of not using size information")
 	out.add(tb)
@@ -127,25 +136,34 @@ func quantile(data []float64, q float64) float64 {
 // needs before its flow approaches the lower bound.
 func runB3(cfg Config) (*Output, error) {
 	out := &Output{}
-	base := tree.FatTree(2, 2, 2)
 	n := cfg.scaled(2000)
 	tb := table.New("B3 — total flow vs uniform node speed (load 0.95 at speed 1)",
 		"speed", "identical avg flow", "unrelated avg flow")
 	var xs, yi, yu []float64
 	speeds := []float64{1.0, 1.1, 1.25, 1.5, 2.0, 2.5, 3.0}
 	flows, err := Sweep(cfg, len(speeds), func(i int) ([2]float64, error) {
-		t := base.WithUniformSpeed(speeds[i])
-		trace := poisson(cfg.rng(1000), n, classSizes(0.5), 0.95, float64(len(base.RootAdjacent())))
-		res, err := sim.Run(t, trace, core.NewGreedyIdentical(0.5), sim.Options{})
+		scI := &scenario.Scenario{
+			Topology: scenario.NewSpec("fattree", 2, 2, 2),
+			Workload: scenario.Workload{N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.95},
+			Assigner: "greedy-identical",
+			Seed:     cfg.seed(1000),
+			Speed:    scenario.Speed{Uniform: speeds[i]},
+		}
+		res, err := scenario.Run(scI)
 		if err != nil {
 			return [2]float64{}, err
 		}
-		r2 := cfg.rng(1001)
-		traceU := poisson(r2, n, classSizes(0.5), 0.95, float64(len(base.RootAdjacent())))
-		if err := workload.MakeUnrelated(r2, traceU, workload.UnrelatedConfig{Leaves: len(base.Leaves()), Lo: 0.5, Hi: 2}); err != nil {
-			return [2]float64{}, err
+		scU := &scenario.Scenario{
+			Topology: scenario.NewSpec("fattree", 2, 2, 2),
+			Workload: scenario.Workload{
+				N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.95,
+				Unrelated: &scenario.Unrelated{Lo: 0.5, Hi: 2},
+			},
+			Assigner: "greedy-unrelated",
+			Seed:     cfg.seed(1001),
+			Speed:    scenario.Speed{Uniform: speeds[i]},
 		}
-		resU, err := sim.Run(t, traceU, core.NewGreedyUnrelated(0.5), sim.Options{})
+		resU, err := scenario.Run(scU)
 		if err != nil {
 			return [2]float64{}, err
 		}

@@ -46,8 +46,16 @@ func (c Config) scaled(n int) int {
 	return v
 }
 
+// seed derives the per-cell seed: scenario cells pass it as
+// Scenario.Seed, hand-wired cells draw from rng(salt), and both see
+// the same stream, so converting a cell to a Scenario preserves its
+// trace bit for bit.
+func (c Config) seed(salt uint64) uint64 {
+	return c.Seed*0x9e3779b97f4a7c15 + salt + 1
+}
+
 func (c Config) rng(salt uint64) *rng.Rand {
-	return rng.New(c.Seed*0x9e3779b97f4a7c15 + salt + 1)
+	return rng.New(c.seed(salt))
 }
 
 // TextBlock is a non-tabular artifact (tree renderings etc.).

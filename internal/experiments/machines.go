@@ -1,12 +1,9 @@
 package experiments
 
 import (
-	"treesched/internal/core"
-	"treesched/internal/sched"
-	"treesched/internal/sim"
+	"treesched/internal/scenario"
 	"treesched/internal/table"
 	"treesched/internal/tree"
-	"treesched/internal/workload"
 )
 
 func init() {
@@ -26,7 +23,6 @@ func runM1(cfg Config) (*Output, error) {
 	out := &Output{}
 	base := tree.FatTree(2, 1, 4) // 2 racks x 4 machines
 	n := cfg.scaled(2000)
-	cap := float64(len(base.RootAdjacent()))
 
 	// Related machines: a mix of fast and slow boxes per rack.
 	speeds := make([]float64, len(base.Leaves()))
@@ -41,53 +37,29 @@ func runM1(cfg Config) (*Output, error) {
 		}
 	}
 
-	mkTrace := func(model string, salt uint64) (*workload.Trace, error) {
-		r := cfg.rng(2500 + salt)
-		tr, err := workload.Poisson(r, workload.GenConfig{N: n, Size: classSizes(0.5), Load: 0.85, Capacity: cap})
-		if err != nil {
-			return nil, err
-		}
-		switch model {
-		case "identical":
-		case "related":
-			if err := workload.MakeRelated(tr, speeds); err != nil {
-				return nil, err
-			}
-		case "unrelated":
-			if err := workload.MakeUnrelated(r, tr, workload.UnrelatedConfig{
-				Leaves: len(base.Leaves()), Lo: 0.25, Hi: 4, PInfeasible: 0.25, Penalty: 8,
-			}); err != nil {
-				return nil, err
-			}
-		}
-		return tr, nil
-	}
-
 	tb := table.New("M1 — avg flow by machine model and assignment rule (load 0.85)",
 		"model", "greedy identical", "greedy unrelated", "least volume", "round robin")
 	models := []string{"identical", "related", "unrelated"}
-	// Each cell constructs its own assigner: RoundRobin is stateful and
-	// must not be shared between concurrently running cells.
-	mkAssigner := func(ai int) sim.Assigner {
-		switch ai {
-		case 0:
-			return core.NewGreedyIdentical(0.5)
-		case 1:
-			return core.NewGreedyUnrelated(0.5)
-		case 2:
-			return sched.LeastVolume{}
-		default:
-			return &sched.RoundRobin{}
-		}
-	}
-	const assigners = 4
+	// Registry names; each cell builds its own assigner through the
+	// scenario layer, so the stateful RoundRobin is never shared
+	// between concurrently running cells.
+	assignerNames := []string{"greedy-identical", "greedy-unrelated", "leastvolume", "roundrobin"}
+	assigners := len(assignerNames)
 	vals, err := Sweep(cfg, len(models)*assigners, func(i int) (float64, error) {
 		mi, ai := i/assigners, i%assigners
-		tr, err := mkTrace(models[mi], uint64(mi))
-		if err != nil {
-			return 0, err
+		sc := &scenario.Scenario{
+			Topology: scenario.NewSpec("fattree", 2, 1, 4),
+			Workload: scenario.Workload{N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.85},
+			Assigner: assignerNames[ai],
+			Seed:     cfg.seed(2500 + uint64(mi)),
 		}
-		res, err := sim.Run(base, tr, mkAssigner(ai), sim.Options{})
+		switch models[mi] {
+		case "related":
+			sc.Workload.RelatedSpeeds = speeds
+		case "unrelated":
+			sc.Workload.Unrelated = &scenario.Unrelated{Lo: 0.25, Hi: 4, PInfeasible: 0.25, Penalty: 8}
+		}
+		res, err := scenario.Run(sc)
 		if err != nil {
 			return 0, err
 		}

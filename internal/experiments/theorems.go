@@ -6,6 +6,7 @@ import (
 	"treesched/internal/core"
 	"treesched/internal/lowerbound"
 	"treesched/internal/lp"
+	"treesched/internal/scenario"
 	"treesched/internal/sim"
 	"treesched/internal/table"
 	"treesched/internal/tree"
@@ -67,14 +68,23 @@ func runT1(cfg Config) (*Output, error) {
 	}
 	rows, err := Sweep(cfg, len(cells), func(i int) ([]interface{}, error) {
 		eps, load := cells[i].eps, cells[i].load
-		base := tree.FatTree(2, 2, 2)
-		t := base.WithUniformSpeed(1 + eps)
-		trace := poisson(cfg.rng(uint64(eps*1000)), n, classSizes(eps), load, float64(len(base.RootAdjacent())))
-		res, err := sim.Run(t, trace, core.NewGreedyIdentical(eps), sim.Options{})
+		sc := &scenario.Scenario{
+			Topology: scenario.NewSpec("fattree", 2, 2, 2),
+			Workload: scenario.Workload{N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: eps, Load: load},
+			Assigner: "greedy-identical",
+			Eps:      eps,
+			Seed:     cfg.seed(uint64(eps * 1000)),
+			Speed:    scenario.Speed{Uniform: 1 + eps},
+		}
+		in, err := sc.Build()
 		if err != nil {
 			return nil, err
 		}
-		lb := lowerbound.Best(base, trace)
+		res, err := in.Run()
+		if err != nil {
+			return nil, err
+		}
+		lb := lowerbound.Best(in.Base, in.Trace)
 		return []interface{}{eps, 1 + eps, load, n, res.Stats.TotalFlow, lb, res.Stats.TotalFlow / lb}, nil
 	})
 	if err != nil {
@@ -106,21 +116,27 @@ func runT2(cfg Config) (*Output, error) {
 	}
 	rows, err := Sweep(cfg, len(cells), func(i int) ([]interface{}, error) {
 		c := cells[i]
-		base := tree.FatTree(2, 2, 2)
-		t := base.WithUniformSpeed(c.speed)
-		r := cfg.rng(uint64(c.eps*1000) + uint64(c.speed*10))
-		trace := poisson(r, n, classSizes(c.eps), 0.9, float64(len(base.RootAdjacent())))
-		if err := workload.MakeUnrelated(r, trace, workload.UnrelatedConfig{
-			Leaves: len(base.Leaves()), Lo: 0.5, Hi: 2, PInfeasible: 0.2, Penalty: 8,
-		}); err != nil {
-			return nil, err
+		sc := &scenario.Scenario{
+			Topology: scenario.NewSpec("fattree", 2, 2, 2),
+			Workload: scenario.Workload{
+				N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: c.eps, Load: 0.9,
+				Unrelated: &scenario.Unrelated{Lo: 0.5, Hi: 2, PInfeasible: 0.2, Penalty: 8},
+				RoundEps:  c.eps,
+			},
+			Assigner: "greedy-unrelated",
+			Eps:      c.eps,
+			Seed:     cfg.seed(uint64(c.eps*1000) + uint64(c.speed*10)),
+			Speed:    scenario.Speed{Uniform: c.speed},
 		}
-		workload.RoundTraceToClasses(trace, c.eps)
-		res, err := sim.Run(t, trace, core.NewGreedyUnrelated(c.eps), sim.Options{})
+		in, err := sc.Build()
 		if err != nil {
 			return nil, err
 		}
-		lb := lowerbound.Best(base, trace)
+		res, err := in.Run()
+		if err != nil {
+			return nil, err
+		}
+		lb := lowerbound.Best(in.Base, in.Trace)
 		return []interface{}{c.eps, c.speed, n, res.Stats.TotalFlow, lb, res.Stats.TotalFlow / lb}, nil
 	})
 	if err != nil {
@@ -142,13 +158,18 @@ func runT3(cfg Config) (*Output, error) {
 	tb := table.New("T3 — integral vs fractional flow time under SJF",
 		"eps", "speed", "fractional", "integral", "integral/fractional", "1/eps")
 	n := cfg.scaled(2000)
-	base := tree.FatTree(2, 2, 2)
 	epsList := []float64{0.1, 0.25, 0.5, 1.0}
 	rows, err := Sweep(cfg, len(epsList), func(i int) ([]interface{}, error) {
 		eps := epsList[i]
-		t := base.WithUniformSpeed(1 + eps)
-		trace := poisson(cfg.rng(300+uint64(eps*100)), n, classSizes(eps), 0.95, float64(len(base.RootAdjacent())))
-		res, err := sim.Run(t, trace, core.NewGreedyIdentical(eps), sim.Options{})
+		sc := &scenario.Scenario{
+			Topology: scenario.NewSpec("fattree", 2, 2, 2),
+			Workload: scenario.Workload{N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: eps, Load: 0.95},
+			Assigner: "greedy-identical",
+			Eps:      eps,
+			Seed:     cfg.seed(300 + uint64(eps*100)),
+			Speed:    scenario.Speed{Uniform: 1 + eps},
+		}
+		res, err := scenario.Run(sc)
 		if err != nil {
 			return nil, err
 		}
@@ -178,14 +199,23 @@ func runT5(cfg Config) (*Output, error) {
 	epsList := []float64{0.25, 0.5, 1.0}
 	rows, err := Sweep(cfg, len(epsList), func(i int) ([]interface{}, error) {
 		eps := epsList[i]
-		base := tree.BroomstickTree(2, 4, 2)
-		t := base.WithSpeeds(1+eps, (1+eps)*(1+eps), (1+eps)*(1+eps))
-		trace := poisson(cfg.rng(2100+uint64(eps*100)), n, classSizes(eps), 0.9, float64(len(base.RootAdjacent())))
-		res, err := sim.Run(t, trace, core.NewGreedyIdentical(eps), sim.Options{})
+		sc := &scenario.Scenario{
+			Topology: scenario.NewSpec("broomstick", 2, 4, 2),
+			Workload: scenario.Workload{N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: eps, Load: 0.9},
+			Assigner: "greedy-identical",
+			Eps:      eps,
+			Seed:     cfg.seed(2100 + uint64(eps*100)),
+			Speed:    scenario.Speed{RootAdjacent: 1 + eps, Router: (1 + eps) * (1 + eps), Leaf: (1 + eps) * (1 + eps)},
+		}
+		in, err := sc.Build()
 		if err != nil {
 			return nil, err
 		}
-		lb := lowerbound.Best(base, trace)
+		res, err := in.Run()
+		if err != nil {
+			return nil, err
+		}
+		lb := lowerbound.Best(in.Base, in.Trace)
 		return []interface{}{eps, n, res.Stats.FracFlow, lb, res.Stats.FracFlow / lb, 1 / (eps * eps * eps)}, nil
 	})
 	if err != nil {
@@ -209,19 +239,27 @@ func runT6(cfg Config) (*Output, error) {
 	epsList := []float64{0.25, 0.5, 1.0}
 	rows, err := Sweep(cfg, len(epsList), func(i int) ([]interface{}, error) {
 		eps := epsList[i]
-		base := tree.BroomstickTree(2, 3, 2)
-		t := base.WithSpeeds(2*(1+eps), 2*(1+eps)*(1+eps), 2*(1+eps)*(1+eps))
-		r := cfg.rng(2200 + uint64(eps*100))
-		trace := poisson(r, n, classSizes(eps), 0.9, float64(len(base.RootAdjacent())))
-		if err := workload.MakeUnrelated(r, trace, workload.UnrelatedConfig{Leaves: len(base.Leaves()), Lo: 0.5, Hi: 2}); err != nil {
-			return nil, err
+		sc := &scenario.Scenario{
+			Topology: scenario.NewSpec("broomstick", 2, 3, 2),
+			Workload: scenario.Workload{
+				N: n, Size: scenario.NewSpec("uniform", 1, 16), ClassEps: eps, Load: 0.9,
+				Unrelated: &scenario.Unrelated{Lo: 0.5, Hi: 2},
+				RoundEps:  eps,
+			},
+			Assigner: "greedy-unrelated",
+			Eps:      eps,
+			Seed:     cfg.seed(2200 + uint64(eps*100)),
+			Speed:    scenario.Speed{RootAdjacent: 2 * (1 + eps), Router: 2 * (1 + eps) * (1 + eps), Leaf: 2 * (1 + eps) * (1 + eps)},
 		}
-		workload.RoundTraceToClasses(trace, eps)
-		res, err := sim.Run(t, trace, core.NewGreedyUnrelated(eps), sim.Options{})
+		in, err := sc.Build()
 		if err != nil {
 			return nil, err
 		}
-		lb := lowerbound.Best(base, trace)
+		res, err := in.Run()
+		if err != nil {
+			return nil, err
+		}
+		lb := lowerbound.Best(in.Base, in.Trace)
 		return []interface{}{eps, n, res.Stats.FracFlow, lb, res.Stats.FracFlow / lb}, nil
 	})
 	if err != nil {

@@ -1,0 +1,31 @@
+package scenario
+
+import "testing"
+
+// TestScenarioSteadyStateAllocs extends the engine's zero-allocation
+// guarantee (sim.TestSteadyStateAllocs) to the scenario-driven warm
+// path: once a Runner's engine has warmed up, Replay's full
+// Reset → inject → drain cycle must not allocate.
+func TestScenarioSteadyStateAllocs(t *testing.T) {
+	sc := &Scenario{
+		Topology: NewSpec("fattree", 2, 2, 2),
+		Workload: Workload{N: 500, Size: NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.95},
+		Assigner: "greedy-identical",
+		Seed:     3,
+	}
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Replay(); err != nil { // warm up all internal capacity
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := r.Replay(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state scenario Replay allocates %.1f times per run, want 0", allocs)
+	}
+}

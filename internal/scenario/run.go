@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"fmt"
+
+	"treesched/internal/sim"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// Instance is a built scenario: the concrete objects a Scenario's
+// specs resolve to. Base is the generated topology at speed 1 (lower
+// bounds are computed against it); Tree carries the speed profile the
+// engine runs with.
+type Instance struct {
+	Scenario *Scenario
+	Base     *tree.Tree
+	Tree     *tree.Tree
+	Trace    *workload.Trace
+	Assigner sim.Assigner
+	// Opts is ready for sim.Run/New. Callers may attach the
+	// non-serializable options (Observer, SelfCheck) before running.
+	Opts sim.Options
+}
+
+// Build resolves every spec in the scenario against the registries
+// and generates the trace. It does not run anything.
+func (sc *Scenario) Build() (*Instance, error) {
+	if sc.Topology.Name == "" {
+		return nil, fmt.Errorf("scenario: topology is required")
+	}
+	base, err := BuildTopo(sc.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	t := base
+	sp := sc.Speed
+	uniform := sp.Uniform != 0
+	triple := sp.RootAdjacent != 0 || sp.Router != 0 || sp.Leaf != 0
+	switch {
+	case uniform && triple:
+		return nil, fmt.Errorf("scenario: speed.uniform and the per-level speed triple are mutually exclusive")
+	case uniform:
+		t = base.WithUniformSpeed(sp.Uniform)
+	case triple:
+		t = base.WithSpeeds(sp.RootAdjacent, sp.Router, sp.Leaf)
+	}
+
+	// Resolve topology-derived workload defaults on a copy so the
+	// scenario value itself stays as written.
+	w := sc.Workload
+	if w.Capacity == 0 {
+		w.Capacity = float64(len(base.RootAdjacent()))
+	}
+	if w.Unrelated != nil && w.Unrelated.Leaves == 0 {
+		u := *w.Unrelated
+		u.Leaves = len(base.Leaves())
+		w.Unrelated = &u
+	}
+	tr, err := w.Generate(sc.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: workload: %w", err)
+	}
+
+	pol, err := ParsePolicy(sc.EffPolicy())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	in := &Instance{
+		Scenario: sc,
+		Base:     base,
+		Tree:     t,
+		Trace:    tr,
+		Opts: sim.Options{
+			Policy:       pol,
+			Instrument:   sc.Engine.Instrument,
+			UseScanQueue: sc.Engine.ScanQueue,
+			RecordSlices: sc.Engine.RecordSlices,
+		},
+	}
+	if in.Assigner, err = in.NewAssigner(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// NewAssigner builds a fresh copy of the scenario's assigner (useful
+// because several baselines are stateful: random, roundrobin, shadow).
+func (in *Instance) NewAssigner() (sim.Assigner, error) {
+	sc := in.Scenario
+	asg, err := ParseAssigner(sc.EffAssigner(), AssignerContext{
+		Tree:      in.Tree,
+		Eps:       sc.EffEps(),
+		Unrelated: sc.Workload.unrelated(),
+		Seed:      sc.EffAssignerSeed(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return asg, nil
+}
+
+// Run executes the built instance (packetized or store-and-forward
+// per the scenario's engine options) on a fresh engine.
+func (in *Instance) Run() (*sim.Result, error) {
+	if in.Scenario.Engine.Packetized {
+		return sim.RunPacketized(in.Tree, in.Trace, in.Assigner, in.Opts)
+	}
+	return sim.Run(in.Tree, in.Trace, in.Assigner, in.Opts)
+}
+
+// Run builds and executes a scenario: the one-call entry point.
+func Run(sc *Scenario) (*sim.Result, error) {
+	in, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	return in.Run()
+}
+
+// Runner executes one scenario repeatedly on a single warm engine
+// (sim.New once, then Reset + RunOn per call): the steady-state path
+// for sweeps, benchmarks and services.
+type Runner struct {
+	Instance *Instance
+	s        *sim.Sim
+	ran      bool
+}
+
+// NewRunner builds the scenario and its engine. Packetized scenarios
+// have no warm path (RunPacketized constructs its own engine); use
+// Run for those.
+func NewRunner(sc *Scenario) (*Runner, error) {
+	if sc.Engine.Packetized {
+		return nil, fmt.Errorf("scenario: packetized runs have no warm path (use scenario.Run)")
+	}
+	in, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Instance: in, s: sim.New(in.Tree, in.Opts)}, nil
+}
+
+// Sim exposes the warm engine (instrumentation readers).
+func (r *Runner) Sim() *sim.Sim { return r.s }
+
+func (r *Runner) reset() {
+	if r.ran {
+		r.s.Reset(r.Instance.Opts)
+	}
+	r.ran = true
+}
+
+// Run replays the scenario on the warm engine and collects results.
+// The assigner is rebuilt each call, so stateful rules (random,
+// roundrobin, shadow) start fresh and every call reproduces a cold
+// sim.Run bit for bit.
+func (r *Runner) Run() (*sim.Result, error) {
+	asg, err := r.Instance.NewAssigner()
+	if err != nil {
+		return nil, err
+	}
+	r.reset()
+	return sim.RunOn(r.s, r.Instance.Trace, asg)
+}
+
+// Replay drives the warm inject→drain cycle without collecting
+// per-job metrics. With a stateless assigner the steady-state cycle
+// performs zero allocations (pinned by TestScenarioSteadyStateAllocs
+// and the scenario/run bench kernel); it reuses Instance.Assigner, so
+// stateful assigners carry their state across calls.
+func (r *Runner) Replay() error {
+	r.reset()
+	return sim.ReplayOn(r.s, r.Instance.Trace, r.Instance.Assigner)
+}

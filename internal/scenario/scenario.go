@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"treesched/internal/rng"
+	"treesched/internal/workload"
+)
+
+// Unrelated configures the per-leaf size transform applied after
+// generation (workload.MakeUnrelated). Leaves is normally 0 and
+// derived from the scenario's topology; trace-only callers (tracegen)
+// set it explicitly.
+type Unrelated struct {
+	Lo          float64 `json:"lo"`
+	Hi          float64 `json:"hi"`
+	PInfeasible float64 `json:"p_infeasible,omitempty"`
+	Penalty     float64 `json:"penalty,omitempty"`
+	Leaves      int     `json:"leaves,omitempty"`
+}
+
+// Workload describes how a trace is produced. Exactly one rng stream
+// (seeded by the owning Scenario) drives generation, in a fixed
+// order: arrival process first, then related speeds, then the
+// unrelated transform, then class rounding, then weights — the same
+// order every hand-wired construction in this repo used, so a
+// Workload with the same seed reproduces those traces bit for bit.
+type Workload struct {
+	// Process names the arrival process ("poisson" when empty;
+	// "bursty:len", "adversarial:bigsize").
+	Process Spec `json:"process,omitempty"`
+	// N is the job count.
+	N int `json:"n"`
+	// Size names the size law (ignored by adversarial).
+	Size Spec `json:"size,omitempty"`
+	// ClassEps > 0 wraps Size in workload.ClassRounded (sizes drawn
+	// pre-rounded to powers of 1+eps).
+	ClassEps float64 `json:"class_eps,omitempty"`
+	// Load is the offered load against Capacity.
+	Load float64 `json:"load,omitempty"`
+	// Capacity the load is calibrated against; 0 means "derive from
+	// the topology's root-adjacent degree" (trace-only callers get 1).
+	Capacity float64 `json:"capacity,omitempty"`
+	// RelatedSpeeds, when set, applies workload.MakeRelated with these
+	// per-leaf speeds.
+	RelatedSpeeds []float64 `json:"related_speeds,omitempty"`
+	// Unrelated, when set, applies workload.MakeUnrelated.
+	Unrelated *Unrelated `json:"unrelated,omitempty"`
+	// RoundEps > 0 rounds all sizes (including per-leaf ones) to
+	// powers of 1+eps after the transforms above.
+	RoundEps float64 `json:"round_eps,omitempty"`
+	// MaxWeight > 0 draws integer job weights in [1, MaxWeight].
+	MaxWeight int `json:"max_weight,omitempty"`
+	// Jobs, when non-empty, bypasses generation entirely: the trace is
+	// exactly these jobs (JSON form only; the compact form cannot
+	// express inline jobs).
+	Jobs []workload.Job `json:"jobs,omitempty"`
+}
+
+// Generate produces the trace. Leaves-dependent transforms require
+// Unrelated.Leaves / len(RelatedSpeeds) to be resolved; Scenario.Build
+// fills them from the topology before calling this.
+func (w *Workload) Generate(seed uint64) (*workload.Trace, error) {
+	if len(w.Jobs) > 0 {
+		tr := &workload.Trace{Jobs: append([]workload.Job(nil), w.Jobs...)}
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	var size workload.SizeDist
+	if w.Size.Name != "" {
+		var err error
+		size, err = BuildSize(w.Size)
+		if err != nil {
+			return nil, err
+		}
+		if w.ClassEps > 0 {
+			size = workload.ClassRounded{Base: size, Eps: w.ClassEps}
+		}
+	}
+	r := rng.New(seed)
+	tr, err := buildProcess(w.Process, r, workload.GenConfig{
+		N: w.N, Size: size, Load: w.Load, Capacity: w.Capacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(w.RelatedSpeeds) > 0 {
+		if err := workload.MakeRelated(tr, w.RelatedSpeeds); err != nil {
+			return nil, err
+		}
+	}
+	if u := w.Unrelated; u != nil {
+		if u.Leaves <= 0 {
+			return nil, fmt.Errorf("unrelated transform needs a leaf count (no topology to derive it from)")
+		}
+		if err := workload.MakeUnrelated(r, tr, workload.UnrelatedConfig{
+			Leaves: u.Leaves, Lo: u.Lo, Hi: u.Hi, PInfeasible: u.PInfeasible, Penalty: u.Penalty,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if w.RoundEps > 0 {
+		workload.RoundTraceToClasses(tr, w.RoundEps)
+	}
+	if w.MaxWeight > 0 {
+		workload.AssignWeights(r, tr, w.MaxWeight)
+	}
+	return tr, nil
+}
+
+// Heterogeneous reports whether the workload carries per-leaf sizes
+// (unrelated or related machines) — what the old cli -unrelated flag
+// signaled. The auto "greedy" assigner and the lemma checkers key off
+// it.
+func (w *Workload) Heterogeneous() bool { return w.unrelated() }
+
+// unrelated reports whether the workload carries per-leaf sizes —
+// the signal the auto "greedy" assigner and the shadow rule key off,
+// exactly as the old cli -unrelated flag did.
+func (w *Workload) unrelated() bool {
+	if w.Unrelated != nil || len(w.RelatedSpeeds) > 0 {
+		return true
+	}
+	for i := range w.Jobs {
+		if w.Jobs[i].LeafSizes != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Speed selects the tree speed profile. Zero value = speed 1
+// everywhere. Uniform and the per-level triple are mutually
+// exclusive.
+type Speed struct {
+	// Uniform applies tree.WithUniformSpeed.
+	Uniform float64 `json:"uniform,omitempty"`
+	// RootAdjacent/Router/Leaf apply tree.WithSpeeds (all three must
+	// be set together).
+	RootAdjacent float64 `json:"root_adjacent,omitempty"`
+	Router       float64 `json:"router,omitempty"`
+	Leaf         float64 `json:"leaf,omitempty"`
+}
+
+func (s Speed) zero() bool { return s == Speed{} }
+
+// Engine selects run-mode options that change the schedule or its
+// instrumentation. Function-valued sim.Options (Observer, SelfCheck)
+// are deliberately excluded: they are code, not data, and callers
+// attach them to Instance.Opts after Build.
+type Engine struct {
+	// Packetized runs the Section 2 unit-packet variant.
+	Packetized bool `json:"packetized,omitempty"`
+	// Instrument records per-hop timings.
+	Instrument bool `json:"instrument,omitempty"`
+	// ScanQueue selects the linear-scan node queue.
+	ScanQueue bool `json:"scan_queue,omitempty"`
+	// RecordSlices records the execution slices (Gantt input).
+	RecordSlices bool `json:"record_slices,omitempty"`
+}
+
+// Scenario is one complete, serializable simulation setup: every
+// experiment cell, CLI invocation and example in this repo is
+// expressible as (and reproducible from) one of these.
+//
+// Zero values mean defaults: Policy "" = sjf, Assigner "" = greedy,
+// Eps 0 = 0.5, Speed zero = speed 1, AssignerSeed 0 = Seed+1 (the
+// historical cli behavior for the randomized baseline).
+type Scenario struct {
+	// Name is an optional label (no whitespace in compact form).
+	Name string `json:"name,omitempty"`
+	// Topology is the tree spec ("fattree:2,2,2"). Required to Build;
+	// trace-only users (tracegen) may leave it empty.
+	Topology Spec `json:"topology"`
+	// Workload describes the trace.
+	Workload Workload `json:"workload"`
+	// Policy names the node scheduling policy (default sjf).
+	Policy string `json:"policy,omitempty"`
+	// Assigner names the leaf-assignment rule (default greedy).
+	Assigner string `json:"assigner,omitempty"`
+	// Eps is the greedy/class epsilon (default 0.5).
+	Eps float64 `json:"eps,omitempty"`
+	// Seed drives workload generation.
+	Seed uint64 `json:"seed,omitempty"`
+	// AssignerSeed seeds randomized assigners (0 = Seed+1).
+	AssignerSeed uint64 `json:"assigner_seed,omitempty"`
+	// Speed is the tree speed profile.
+	Speed Speed `json:"speed,omitempty"`
+	// Horizon is the LP horizon in unit slots for bound tooling
+	// (cmd/lpbound); the event engine does not use it.
+	Horizon int `json:"horizon,omitempty"`
+	// Engine selects run-mode options.
+	Engine Engine `json:"engine,omitempty"`
+}
+
+// EffEps returns the effective epsilon (default 0.5).
+func (sc *Scenario) EffEps() float64 {
+	if sc.Eps == 0 {
+		return 0.5
+	}
+	return sc.Eps
+}
+
+// EffPolicy returns the effective policy name (default "sjf").
+func (sc *Scenario) EffPolicy() string {
+	if sc.Policy == "" {
+		return "sjf"
+	}
+	return sc.Policy
+}
+
+// EffAssigner returns the effective assigner name (default "greedy").
+func (sc *Scenario) EffAssigner() string {
+	if sc.Assigner == "" {
+		return "greedy"
+	}
+	return sc.Assigner
+}
+
+// EffAssignerSeed returns the rng seed for randomized assigners.
+func (sc *Scenario) EffAssignerSeed() uint64 {
+	if sc.AssignerSeed == 0 {
+		return sc.Seed + 1
+	}
+	return sc.AssignerSeed
+}
+
+// WriteJSON writes the scenario as indented JSON. The JSON form
+// round-trips losslessly (pinned by tests and a fuzz target).
+func (sc *Scenario) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+// ReadJSON decodes a Scenario from JSON, rejecting unknown fields so
+// typos in hand-written files fail loudly.
+func ReadJSON(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	sc := &Scenario{}
+	if err := dec.Decode(sc); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// Load parses either a JSON document (first non-space byte '{') or a
+// compact one-line form.
+func Load(data []byte) (*Scenario, error) {
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return ReadJSON(bytes.NewReader(data))
+		default:
+			return ParseCompact(string(data))
+		}
+	}
+	return nil, fmt.Errorf("scenario: empty input")
+}

@@ -1,0 +1,353 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"treesched/internal/rng"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{NewSpec("poisson"), "poisson"},
+		{NewSpec("fattree", 2, 2, 2), "fattree:2,2,2"},
+		{NewSpec("pareto", 1, 1.5, 200), "pareto:1,1.5,200"},
+		{NewSpec("bimodal", 1, 100, 0.05), "bimodal:1,100,0.05"},
+	}
+	for _, c := range cases {
+		if got := c.spec.String(); got != c.want {
+			t.Fatalf("String() = %q, want %q", got, c.want)
+		}
+		back, err := ParseSpec(c.want)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.want, err)
+		}
+		if !reflect.DeepEqual(back, c.spec) {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.want, back, c.spec)
+		}
+	}
+}
+
+func TestParseSpecRejectsNonFinite(t *testing.T) {
+	for _, s := range []string{"uniform:NaN,1", "uniform:Inf,1", "uniform:-Inf,1"} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted a non-finite arg", s)
+		}
+	}
+}
+
+func TestRegistryLists(t *testing.T) {
+	checks := []struct {
+		got  []string
+		want string
+	}{
+		{Topologies(), "fattree|star|line|caterpillar|broomstick|random"},
+		{Sizes(), "uniform|bimodal|pareto"},
+		{Processes(), "poisson|bursty|adversarial"},
+		{Policies(), "sjf|fifo|srpt|lcfs|ps|wsjf"},
+		{Assigners(), "greedy|greedy-identical|greedy-unrelated|shadow|closest|random|roundrobin|leastvolume|minpath|jsq"},
+	}
+	for _, c := range checks {
+		if got := strings.Join(c.got, "|"); !strings.HasPrefix(got, c.want) {
+			t.Fatalf("registration order = %q, want prefix %q", got, c.want)
+		}
+	}
+}
+
+func TestBuildTopoMatchesGenerators(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		mk   func() *tree.Tree
+	}{
+		{NewSpec("fattree", 2, 2, 2), func() *tree.Tree { return tree.FatTree(2, 2, 2) }},
+		{NewSpec("star", 4), func() *tree.Tree { return tree.Star(4) }},
+		{NewSpec("line", 3), func() *tree.Tree { return tree.Line(3) }},
+		{NewSpec("caterpillar", 3, 2), func() *tree.Tree { return tree.Caterpillar(3, 2) }},
+		{NewSpec("broomstick", 2, 3, 1), func() *tree.Tree { return tree.BroomstickTree(2, 3, 1) }},
+	}
+	for _, c := range cases {
+		got, err := BuildTopo(c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		want := c.mk()
+		if got.NumNodes() != want.NumNodes() || len(got.Leaves()) != len(want.Leaves()) {
+			t.Fatalf("%s: shape differs from direct generator", c.spec)
+		}
+	}
+	if _, err := BuildTopo(NewSpec("fattree", 2.5, 2, 2)); err == nil {
+		t.Fatal("non-integer topology arg accepted")
+	}
+	if _, err := BuildTopo(NewSpec("line", 0)); err == nil {
+		t.Fatal("generator panic not translated to error")
+	}
+}
+
+// sampleScenarios covers every compact-expressible field combination.
+func sampleScenarios() []*Scenario {
+	return []*Scenario{
+		{},
+		{Topology: NewSpec("fattree", 2, 2, 2), Workload: Workload{N: 100, Size: NewSpec("uniform", 1, 16), Load: 0.9}, Seed: 1},
+		{
+			Name:     "kitchen-sink",
+			Topology: NewSpec("broomstick", 2, 4, 2),
+			Workload: Workload{
+				Process: NewSpec("bursty", 12), N: 500, Size: NewSpec("pareto", 1, 1.5, 200),
+				ClassEps: 0.25, Load: 0.95, Capacity: 3,
+				RelatedSpeeds: []float64{4, 2, 1, 1},
+				RoundEps:      0.5, MaxWeight: 8,
+			},
+			Policy: "srpt", Assigner: "leastvolume", Eps: 0.25, Seed: 42, AssignerSeed: 99,
+			Speed:   Speed{Uniform: 2.5},
+			Horizon: 64,
+			Engine:  Engine{Instrument: true, ScanQueue: true, RecordSlices: true},
+		},
+		{
+			Topology: NewSpec("fattree", 2, 2, 2),
+			Workload: Workload{
+				N: 300, Size: NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.9,
+				Unrelated: &Unrelated{Lo: 0.5, Hi: 2, PInfeasible: 0.2, Penalty: 8},
+				RoundEps:  0.5,
+			},
+			Assigner: "greedy-unrelated", Eps: 0.5, Seed: 7,
+			Speed: Speed{RootAdjacent: 1.5, Router: 2.25, Leaf: 2.25},
+		},
+		{
+			Topology: NewSpec("line", 4),
+			Workload: Workload{Process: NewSpec("adversarial", 32), N: 200},
+			Engine:   Engine{Packetized: true},
+		},
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	for i, sc := range sampleScenarios() {
+		c, err := sc.Compact()
+		if err != nil {
+			t.Fatalf("scenario %d: Compact: %v", i, err)
+		}
+		back, err := ParseCompact(c)
+		if err != nil {
+			t.Fatalf("scenario %d: ParseCompact(%q): %v", i, c, err)
+		}
+		if !reflect.DeepEqual(back, sc) {
+			t.Fatalf("scenario %d round trip:\n compact %q\n got  %+v\n want %+v", i, c, back, sc)
+		}
+		c2, err := back.Compact()
+		if err != nil || c2 != c {
+			t.Fatalf("scenario %d: re-Compact = %q (%v), want %q", i, c2, err, c)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	scs := sampleScenarios()
+	// Inline jobs are JSON-only.
+	scs = append(scs, &Scenario{
+		Topology: NewSpec("line", 2),
+		Workload: Workload{Jobs: []workload.Job{
+			{ID: 0, Release: 0, Size: 4},
+			{ID: 1, Release: 1, Size: 2, Weight: 3},
+		}},
+		Engine: Engine{Instrument: true},
+	})
+	for i, sc := range scs {
+		var buf bytes.Buffer
+		if err := sc.WriteJSON(&buf); err != nil {
+			t.Fatalf("scenario %d: WriteJSON: %v", i, err)
+		}
+		back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("scenario %d: ReadJSON: %v", i, err)
+		}
+		if !reflect.DeepEqual(back, sc) {
+			t.Fatalf("scenario %d JSON round trip:\n got  %+v\n want %+v", i, back, sc)
+		}
+	}
+}
+
+func TestLoadDetectsFormat(t *testing.T) {
+	sc := &Scenario{Topology: NewSpec("star", 4), Workload: Workload{N: 50, Size: NewSpec("uniform", 1, 4), Load: 0.8}, Seed: 3}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Load(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sc.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCompact, err := Load([]byte("  " + c + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromJSON, sc) || !reflect.DeepEqual(fromCompact, sc) {
+		t.Fatalf("Load mismatch: json %+v compact %+v want %+v", fromJSON, fromCompact, sc)
+	}
+	if _, err := Load([]byte("   \n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Load([]byte(`{"nope": 1}`)); err == nil {
+		t.Fatal("unknown JSON field accepted")
+	}
+}
+
+func TestParseCompactErrors(t *testing.T) {
+	for _, in := range []string{
+		"bogus=1",
+		"frobnicate",
+		"n=1 n=2",
+		"instrument instrument",
+		"n=x",
+		"eps=NaN",
+		"speeds=1,2",
+		"unrelated=1",
+		"seed=-1",
+		"name=",
+	} {
+		if _, err := ParseCompact(in); err == nil {
+			t.Fatalf("ParseCompact(%q) accepted", in)
+		}
+	}
+}
+
+// The workload pipeline must reproduce the hand-wired constructions
+// bit for bit: one rng stream, process → related → unrelated → round
+// → weights.
+func TestGenerateMatchesHandWired(t *testing.T) {
+	const seed = 21
+	w := Workload{
+		N: 400, Size: NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.85, Capacity: 2,
+		Unrelated: &Unrelated{Lo: 0.5, Hi: 2, PInfeasible: 0.2, Penalty: 8, Leaves: 8},
+		RoundEps:  0.5,
+	}
+	got, err := w.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := rng.New(seed)
+	want, err := workload.Poisson(r, workload.GenConfig{
+		N: 400, Size: workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 16}, Eps: 0.5},
+		Load: 0.85, Capacity: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.MakeUnrelated(r, want, workload.UnrelatedConfig{
+		Leaves: 8, Lo: 0.5, Hi: 2, PInfeasible: 0.2, Penalty: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	workload.RoundTraceToClasses(want, 0.5)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("scenario-generated trace differs from hand-wired construction")
+	}
+}
+
+func TestBuildDefaultsAndErrors(t *testing.T) {
+	sc := &Scenario{
+		Topology: NewSpec("fattree", 2, 2, 2),
+		Workload: Workload{N: 50, Size: NewSpec("uniform", 1, 16), Load: 0.9},
+		Seed:     1,
+	}
+	in, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Opts.Policy != nil && in.Opts.Policy.Name() != "SJF" {
+		t.Fatalf("default policy = %v", in.Opts.Policy.Name())
+	}
+	if in.Assigner.Name() != "GreedyIdentical" {
+		t.Fatalf("default assigner = %q", in.Assigner.Name())
+	}
+	if in.Base != in.Tree {
+		t.Fatal("no speed profile should leave the base tree untouched")
+	}
+
+	// Unrelated workloads flip the auto greedy variant and derive the
+	// leaf count from the topology.
+	scU := &Scenario{
+		Topology: NewSpec("fattree", 2, 2, 2),
+		Workload: Workload{
+			N: 50, Size: NewSpec("uniform", 1, 16), Load: 0.9,
+			Unrelated: &Unrelated{Lo: 0.5, Hi: 2},
+		},
+		Seed:  1,
+		Speed: Speed{Uniform: 2},
+	}
+	inU, err := scU.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inU.Assigner.Name() != "GreedyUnrelated" {
+		t.Fatalf("unrelated auto assigner = %q", inU.Assigner.Name())
+	}
+	if n := len(inU.Trace.Jobs[0].LeafSizes); n != len(inU.Base.Leaves()) {
+		t.Fatalf("derived leaf count = %d, want %d", n, len(inU.Base.Leaves()))
+	}
+	if scU.Workload.Unrelated.Leaves != 0 {
+		t.Fatal("Build mutated the scenario's Unrelated config")
+	}
+	if inU.Tree == inU.Base {
+		t.Fatal("uniform speed not applied")
+	}
+
+	for _, bad := range []*Scenario{
+		{},
+		{Topology: NewSpec("mesh", 2)},
+		{Topology: NewSpec("star", 4), Workload: Workload{N: 10, Size: NewSpec("uniform", 1, 2), Load: 0.5},
+			Speed: Speed{Uniform: 2, RootAdjacent: 1, Router: 1, Leaf: 1}},
+		{Topology: NewSpec("star", 4), Workload: Workload{N: 10, Size: NewSpec("uniform", 1, 2), Load: 0.5},
+			Policy: "edf"},
+		{Topology: NewSpec("star", 4), Workload: Workload{N: 10, Size: NewSpec("uniform", 1, 2), Load: 0.5},
+			Assigner: "oracle"},
+		{Topology: NewSpec("star", 4), Workload: Workload{N: 10, Size: NewSpec("nope", 1, 2), Load: 0.5}},
+		{Topology: NewSpec("star", 4), Workload: Workload{Process: NewSpec("nope"), N: 10, Size: NewSpec("uniform", 1, 2), Load: 0.5}},
+	} {
+		if _, err := bad.Build(); err == nil {
+			t.Fatalf("scenario %+v built without error", bad)
+		}
+	}
+}
+
+// Runner.Run must reproduce a cold scenario.Run exactly, round after
+// round, including for stateful assigners (rebuilt per call).
+func TestRunnerMatchesColdRun(t *testing.T) {
+	for _, asg := range []string{"greedy", "roundrobin", "random"} {
+		sc := &Scenario{
+			Topology: NewSpec("fattree", 2, 2, 2),
+			Workload: Workload{N: 300, Size: NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.9},
+			Assigner: asg,
+			Seed:     5,
+		}
+		cold, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", asg, err)
+		}
+		r, err := NewRunner(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", asg, err)
+		}
+		for round := 0; round < 3; round++ {
+			warm, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s round %d: %v", asg, round, err)
+			}
+			if warm.Stats != cold.Stats {
+				t.Fatalf("%s round %d: warm stats %+v != cold %+v", asg, round, warm.Stats, cold.Stats)
+			}
+		}
+	}
+}

@@ -82,25 +82,40 @@ func Run(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Options) (*Resu
 // heap, node queues and task arena, so repeated runs approach zero
 // allocations. The schedule is identical to a Run on a fresh engine.
 func RunOn(s *Sim, trace *workload.Trace, asg Assigner) (*Result, error) {
-	if err := trace.Validate(); err != nil {
+	if err := ReplayOn(s, trace, asg); err != nil {
 		return nil, err
 	}
+	return collect(s.tree, s, len(trace.Jobs))
+}
+
+// ReplayOn drives the inject→drain cycle of RunOn without collecting
+// per-job metrics (which necessarily allocate a Result). On a warmed
+// engine this is the zero-allocation path measurement loops use; the
+// engine is left drained, so Stats()/Tasks() remain readable.
+func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) error {
+	if err := trace.Validate(); err != nil {
+		return err
+	}
 	t := s.tree
-	var a Arrival
+	// Passing a loop-local Arrival through the Assigner interface makes
+	// it escape; the engine-owned scratch keeps the warm path at zero
+	// allocations. Assigners must not retain the pointer past Assign
+	// (the value was already overwritten every iteration).
+	a := &s.scratchArrival
 	for i := range trace.Jobs {
 		j := &trace.Jobs[i]
 		if j.LeafSizes != nil && len(j.LeafSizes) != len(t.Leaves()) {
-			return nil, fmt.Errorf("sim: job %d has %d leaf sizes for a %d-leaf tree", j.ID, len(j.LeafSizes), len(t.Leaves()))
+			return fmt.Errorf("sim: job %d has %d leaf sizes for a %d-leaf tree", j.ID, len(j.LeafSizes), len(t.Leaves()))
 		}
 		s.AdvanceTo(j.Release)
-		a = Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
-		leaf := asg.Assign(s.Query(), &a)
-		if _, err := s.Inject(&a, leaf); err != nil {
-			return nil, fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
+		*a = Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
+		leaf := asg.Assign(s.Query(), a)
+		if _, err := s.Inject(a, leaf); err != nil {
+			return fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
 		}
 	}
 	s.Drain()
-	return collect(t, s, len(trace.Jobs))
+	return nil
 }
 
 func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {

@@ -4,11 +4,57 @@ import (
 	"treesched/internal/core"
 	"treesched/internal/lowerbound"
 	"treesched/internal/rng"
+	"treesched/internal/scenario"
 	"treesched/internal/sched"
 	"treesched/internal/sim"
 	"treesched/internal/tree"
 	"treesched/internal/workload"
 )
+
+// Scenario layer: declarative, serializable simulation setups. A
+// Scenario bundles topology spec, workload spec, scheduler names,
+// speeds and seed; it round-trips through JSON and a compact one-line
+// string, and one value reproduces any experiment cell, CLI
+// invocation or example in this repo.
+type (
+	// Scenario is one complete simulation setup in data form.
+	Scenario = scenario.Scenario
+	// ScenarioWorkload, ScenarioSpeed, ScenarioEngine and
+	// ScenarioUnrelated are its component specs.
+	ScenarioWorkload  = scenario.Workload
+	ScenarioSpeed     = scenario.Speed
+	ScenarioEngine    = scenario.Engine
+	ScenarioUnrelated = scenario.Unrelated
+	// Spec names one registry entry plus arguments ("fattree:2,2,2").
+	Spec = scenario.Spec
+	// Instance is a built scenario: concrete tree, trace, assigner.
+	Instance = scenario.Instance
+	// ScenarioRunner replays one scenario on a warm engine.
+	ScenarioRunner = scenario.Runner
+	// TopoEntry and Param let callers register custom topologies under
+	// a name usable in scenario specs (see examples/heterogeneous).
+	TopoEntry = scenario.TopoEntry
+	Param     = scenario.Param
+)
+
+// NewSpec builds a Spec in place: NewSpec("fattree", 2, 2, 2).
+func NewSpec(name string, args ...float64) Spec { return scenario.NewSpec(name, args...) }
+
+// ParseScenario loads a Scenario from JSON or the compact one-line
+// form (auto-detected).
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Load(data) }
+
+// RunScenario builds and executes a scenario end to end.
+func RunScenario(sc *Scenario) (*Result, error) { return scenario.Run(sc) }
+
+// NewScenarioRunner builds a warm-engine runner for repeated replays
+// of one scenario (zero steady-state allocations with a stateless
+// assigner).
+func NewScenarioRunner(sc *Scenario) (*ScenarioRunner, error) { return scenario.NewRunner(sc) }
+
+// RegisterTopology adds a named topology generator to the scenario
+// registry, making it addressable from specs and scenario files.
+func RegisterTopology(e TopoEntry) { scenario.RegisterTopology(e) }
 
 // Topology types and constructors.
 type (
