@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-json ci experiments examples clean
+.PHONY: all build vet test test-short test-race bench bench-json bench-compare fuzz-smoke ci experiments examples clean
 
 all: build vet test test-race
 
@@ -27,6 +27,19 @@ bench:
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
 	$(GO) run ./cmd/bench -out BENCH_2.json
+
+# Rerun the kernels and fail (exit 3) if any regressed >25% vs the
+# checked-in record.
+bench-compare:
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_2.json
+
+# Short fuzz pass over every fuzz target (~10s each); corpus seeds
+# alone run on plain `go test`, this digs a little deeper.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzCompactRoundTrip -fuzztime=10s ./internal/scenario
+	$(GO) test -run=^$$ -fuzz=FuzzScenarioJSON -fuzztime=10s ./internal/scenario
+	$(GO) test -run=^$$ -fuzz=FuzzRoundToClass -fuzztime=10s ./internal/workload
+	$(GO) test -run=^$$ -fuzz=FuzzTraceValidate -fuzztime=10s ./internal/workload
 
 # Everything CI needs: build, vet, race-clean short tests, and a smoke
 # run of the benchmark harness (fast benchtime, throwaway output).

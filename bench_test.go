@@ -60,6 +60,7 @@ func BenchmarkX3WeightedFlow(b *testing.B)         { benchExperiment(b, "X3", 0.
 func BenchmarkX4LineMaxFlow(b *testing.B)          { benchExperiment(b, "X4", 0.05) }
 func BenchmarkW1WorkloadSensitivity(b *testing.B)  { benchExperiment(b, "W1", 0.05) }
 func BenchmarkM1MachineModels(b *testing.B)        { benchExperiment(b, "M1", 0.05) }
+func BenchmarkR1FaultDegradation(b *testing.B)     { benchExperiment(b, "R1", 0.05) }
 
 // Engine micro-benchmarks.
 

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	bench [-out BENCH_2.json] [-seed 1] [-scale 0.05] [-quick]
-//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-compare BENCH_2.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -compare checks the fresh results against a previously written
+// baseline file and exits with status 3 if any kernel's ns/op
+// regressed by more than 25%.
 //
 // Kernels:
 //
@@ -69,6 +73,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
 	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
 	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
+	compare := flag.String("compare", "", "baseline JSON to compare against; exit 3 on >25% ns/op regression in any kernel")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	testing.Init()
@@ -144,6 +149,59 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d kernels)\n", *out, len(doc.Benchmarks))
+
+	if *compare != "" {
+		base, err := readBenchFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		regs := regressions(base, &doc, regressionThreshold)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "bench: REGRESSION:", r)
+		}
+		if len(regs) > 0 {
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "bench: no kernel regressed >%.0f%% vs %s\n", 100*regressionThreshold, *compare)
+	}
+}
+
+// regressionThreshold is the relative ns/op slowdown that fails a
+// -compare run.
+const regressionThreshold = 0.25
+
+func readBenchFile(path string) (*benchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &benchFile{}
+	if err := json.Unmarshal(buf, doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// regressions compares current against baseline kernel by kernel and
+// describes every one whose ns/op grew by more than threshold.
+// Kernels absent from the baseline are new, not regressions.
+func regressions(baseline, current *benchFile, threshold float64) []string {
+	base := make(map[string]benchLine, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	var out []string
+	for _, c := range current.Benchmarks {
+		b, ok := base[c.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+threshold) {
+			out = append(out, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
+				c.Name, b.NsPerOp, c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*threshold))
+		}
+	}
+	return out
 }
 
 // buildKernels constructs the kernel set. The engine workload is fixed

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(lines ...benchLine) *benchFile {
+	return &benchFile{Schema: "treesched-bench/2", Benchmarks: lines}
+}
+
+func TestRegressions(t *testing.T) {
+	base := doc(
+		benchLine{Name: "engine/cold", NsPerOp: 1000},
+		benchLine{Name: "engine/warm", NsPerOp: 800},
+		benchLine{Name: "retired/kernel", NsPerOp: 500},
+	)
+
+	// Within threshold: +25% exactly does not fail.
+	cur := doc(
+		benchLine{Name: "engine/cold", NsPerOp: 1250},
+		benchLine{Name: "engine/warm", NsPerOp: 700},
+		benchLine{Name: "brand/new", NsPerOp: 9999},
+	)
+	if regs := regressions(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	// Past threshold: only the offending kernel is reported, by name.
+	cur = doc(
+		benchLine{Name: "engine/cold", NsPerOp: 1300},
+		benchLine{Name: "engine/warm", NsPerOp: 800},
+	)
+	regs := regressions(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "engine/cold") {
+		t.Fatalf("regressions = %v, want one naming engine/cold", regs)
+	}
+
+	// A zero-ns baseline entry (corrupt or placeholder) never divides.
+	base = doc(benchLine{Name: "engine/cold", NsPerOp: 0})
+	if regs := regressions(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("zero baseline produced regressions: %v", regs)
+	}
+}
+
+func TestReadBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"treesched-bench/2","benchmarks":[{"name":"engine/cold","ns_per_op":42}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 1 || got.Benchmarks[0].NsPerOp != 42 {
+		t.Fatalf("read %+v", got)
+	}
+	if _, err := readBenchFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBenchFile(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}

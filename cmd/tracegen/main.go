@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"treesched/internal/cli"
@@ -28,33 +29,47 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 1000, "number of jobs")
-	process := flag.String("process", "poisson", "arrival process: poisson | bursty | adversarial")
-	sizeSpec := flag.String("size", "uniform:1,16", "size distribution spec")
-	load := flag.Float64("load", 0.9, "offered load")
-	capacity := flag.Float64("capacity", 1, "capacity the load is calibrated against")
-	burst := flag.Int("burst", 10, "burst length for -process bursty")
-	eps := flag.Float64("eps", 0, "round sizes to powers of (1+eps) when > 0")
-	unrelated := flag.String("unrelated", "", "LEAVES:lo,hi per-leaf sizes")
-	seed := flag.Uint64("seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
-	scenFile := flag.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
-	dump := flag.Bool("dump-scenario", false, "print the scenario as JSON and exit without generating")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so error paths are testable:
+// it returns the exit code (0 ok, 1 runtime error, 2 flag error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 1000, "number of jobs")
+	process := fs.String("process", "poisson", "arrival process: poisson | bursty | adversarial")
+	sizeSpec := fs.String("size", "uniform:1,16", "size distribution spec")
+	load := fs.Float64("load", 0.9, "offered load")
+	capacity := fs.Float64("capacity", 1, "capacity the load is calibrated against")
+	burst := fs.Int("burst", 10, "burst length for -process bursty")
+	eps := fs.Float64("eps", 0, "round sizes to powers of (1+eps) when > 0")
+	unrelated := fs.String("unrelated", "", "LEAVES:lo,hi per-leaf sizes")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	scenFile := fs.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
+	dump := fs.Bool("dump-scenario", false, "print the scenario as JSON and exit without generating")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
 
 	var sc *scenario.Scenario
 	if *scenFile != "" {
 		data, err := os.ReadFile(*scenFile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if sc, err = scenario.Load(data); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		sizeSp, err := scenario.ParseSpec(*sizeSpec)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		var processSp scenario.Spec
 		switch *process {
@@ -67,7 +82,7 @@ func main() {
 			// size 32.
 			processSp = scenario.NewSpec("adversarial", 32)
 		default:
-			fatal(fmt.Errorf("unknown process %q", *process))
+			return fail(fmt.Errorf("unknown process %q", *process))
 		}
 		sc = &scenario.Scenario{
 			Workload: scenario.Workload{
@@ -83,7 +98,7 @@ func main() {
 		if *unrelated != "" {
 			ucfg, err := cli.ParseUnrelated(*unrelated)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			sc.Workload.Unrelated = &scenario.Unrelated{
 				Lo: ucfg.Lo, Hi: ucfg.Hi, Leaves: ucfg.Leaves,
@@ -91,10 +106,10 @@ func main() {
 		}
 	}
 	if *dump {
-		if err := sc.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+		if err := sc.WriteJSON(stdout); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	// Trace-only generation has no topology to derive capacity from.
@@ -103,27 +118,23 @@ func main() {
 	}
 	tr, err := sc.Workload.Generate(sc.Seed)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := tr.WriteJSON(w); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	st := tr.Stats()
-	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, total work %.4g, span %.4g, mean size %.4g, max size %.4g, offered %.4g/s\n",
+	fmt.Fprintf(stderr, "tracegen: %d jobs, total work %.4g, span %.4g, mean size %.4g, max size %.4g, offered %.4g/s\n",
 		st.Jobs, st.TotalWork, st.Span, st.MeanSize, st.MaxSize, st.OfferedPerSec)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunGeneratesTrace(t *testing.T) {
+	code, out, errw := exec(t, "-n", "25", "-seed", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	var doc struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stdout is not a trace: %v\n%s", err, out)
+	}
+	if len(doc.Jobs) != 25 {
+		t.Fatalf("trace has %d jobs, want 25", len(doc.Jobs))
+	}
+	if !strings.Contains(errw, "25 jobs") {
+		t.Fatalf("summary missing from stderr: %q", errw)
+	}
+}
+
+func TestRunMissingScenarioFile(t *testing.T) {
+	code, _, errw := exec(t, "-scenario", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "absent.json") {
+		t.Fatalf("stderr does not name the missing file: %q", errw)
+	}
+}
+
+func TestRunMalformedScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"workload": {"siez": "uniform:1,2"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errw := exec(t, "-scenario", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "siez") {
+		t.Fatalf("stderr does not name the offending field: %q", errw)
+	}
+}
+
+func TestRunUnknownNames(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-process", "quantum"}, `unknown process "quantum"`},
+		{[]string{"-size", "zipf:1,2"}, `unknown size distribution "zipf"`},
+	} {
+		code, _, errw := exec(t, append(tc.args, "-n", "10")...)
+		if code != 1 {
+			t.Fatalf("%v: exit %d, want 1 (stderr %q)", tc.args, code, errw)
+		}
+		if !strings.Contains(errw, tc.want) {
+			t.Fatalf("%v: stderr %q missing %q", tc.args, errw, tc.want)
+		}
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	code, _, _ := exec(t, "-bogus")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

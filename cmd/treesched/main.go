@@ -5,6 +5,7 @@
 //
 //	treesched -topo fattree:2,2,2 -n 2000 -load 0.9 -assigner greedy \
 //	          -policy sjf -speed 1.5 -eps 0.5 -seed 1 [-unrelated]
+//	          [-faults outages:4,50] [-recovery redispatch] [-audit]
 //	          [-render] [-gantt] [-trace jobs.json]
 //	treesched -scenario run.json            # or a compact one-liner file
 //	treesched -topo star:4 -n 500 -dump-scenario > run.json
@@ -12,7 +13,8 @@
 // The individual flags assemble a scenario.Scenario; -scenario loads
 // one from a file (JSON or the compact one-line form) instead, and
 // -dump-scenario prints the assembled scenario as JSON without
-// running it.
+// running it. -faults/-recovery apply to either path (they override a
+// scenario file's fault section).
 //
 // Topologies: fattree:arity,depth,leaves | star:n | line:n |
 // caterpillar:spine,leaves | broomstick:branches,handle,leaves |
@@ -20,11 +22,14 @@
 // Assigners: greedy | shadow | closest | random | roundrobin |
 // leastvolume | minpath | jsq.
 // Policies: sjf | fifo | srpt | lcfs | ps | wsjf.
+// Fault plans: outages:count,dur | brownouts:count,dur,factor |
+// leafloss:count,frac.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"treesched/internal/core"
@@ -35,39 +40,56 @@ import (
 )
 
 func main() {
-	topo := flag.String("topo", "fattree:2,2,2", "topology spec")
-	n := flag.Int("n", 2000, "number of jobs")
-	load := flag.Float64("load", 0.9, "offered load vs root capacity")
-	assigner := flag.String("assigner", "greedy", "leaf assignment policy")
-	policy := flag.String("policy", "sjf", "node scheduling policy")
-	speed := flag.Float64("speed", 1.5, "uniform node speed (resource augmentation)")
-	eps := flag.Float64("eps", 0.5, "greedy rule epsilon / size class base-1")
-	seed := flag.Uint64("seed", 1, "random seed")
-	unrelated := flag.Bool("unrelated", false, "unrelated leaf processing times")
-	packetized := flag.Bool("packetized", false, "unit-packet forwarding mode")
-	render := flag.Bool("render", false, "print the topology before running")
-	dot := flag.String("dot", "", "write the topology as Graphviz dot to this file")
-	checkLemmas := flag.Bool("checklemmas", false, "validate Lemma 1/2 bounds during the run (with the individual flags, forces the lemma speed profile: 1x root-adjacent, (1+eps)x elsewhere)")
-	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart (instrumented)")
-	traceOut := flag.String("trace", "", "write the generated workload trace to this JSON file")
-	resultOut := flag.String("result", "", "write per-job results to this JSON file")
-	scenFile := flag.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
-	dump := flag.Bool("dump-scenario", false, "print the scenario as JSON and exit without running")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary, so error paths are testable:
+// it returns the exit code (0 ok, 1 runtime error, 2 flag error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("treesched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	topo := fs.String("topo", "fattree:2,2,2", "topology spec")
+	n := fs.Int("n", 2000, "number of jobs")
+	load := fs.Float64("load", 0.9, "offered load vs root capacity")
+	assigner := fs.String("assigner", "greedy", "leaf assignment policy")
+	policy := fs.String("policy", "sjf", "node scheduling policy")
+	speed := fs.Float64("speed", 1.5, "uniform node speed (resource augmentation)")
+	eps := fs.Float64("eps", 0.5, "greedy rule epsilon / size class base-1")
+	seed := fs.Uint64("seed", 1, "random seed")
+	unrelated := fs.Bool("unrelated", false, "unrelated leaf processing times")
+	packetized := fs.Bool("packetized", false, "unit-packet forwarding mode")
+	render := fs.Bool("render", false, "print the topology before running")
+	dot := fs.String("dot", "", "write the topology as Graphviz dot to this file")
+	checkLemmas := fs.Bool("checklemmas", false, "validate Lemma 1/2 bounds during the run (with the individual flags, forces the lemma speed profile: 1x root-adjacent, (1+eps)x elsewhere)")
+	gantt := fs.Bool("gantt", false, "print an ASCII Gantt chart (instrumented)")
+	audit := fs.Bool("audit", false, "record exact slices and audit the finished schedule for conformance")
+	faultSpec := fs.String("faults", "", "fault plan spec (outages:count,dur | brownouts:count,dur,factor | leafloss:count,frac)")
+	recovery := fs.String("recovery", "", "leaf-loss recovery policy: hold | redispatch")
+	traceOut := fs.String("trace", "", "write the generated workload trace to this JSON file")
+	resultOut := fs.String("result", "", "write per-job results to this JSON file")
+	scenFile := fs.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
+	dump := fs.Bool("dump-scenario", false, "print the scenario as JSON and exit without running")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "treesched:", err)
+		return 1
+	}
 
 	var sc *scenario.Scenario
 	if *scenFile != "" {
 		data, err := os.ReadFile(*scenFile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if sc, err = scenario.Load(data); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		topoSpec, err := scenario.ParseSpec(*topo)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		sc = &scenario.Scenario{
 			Topology: topoSpec,
@@ -98,32 +120,45 @@ func main() {
 			sc.Speed = scenario.Speed{Uniform: *speed}
 		}
 	}
-	if *dump {
-		if err := sc.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+	if *faultSpec != "" {
+		plan, err := scenario.ParseSpec(*faultSpec)
+		if err != nil {
+			return fail(fmt.Errorf("-faults: %v", err))
 		}
-		return
+		sc.Faults = &scenario.FaultSpec{Plan: plan}
+	}
+	if *recovery != "" {
+		if sc.Faults == nil {
+			return fail(fmt.Errorf("-recovery needs -faults (or a scenario with a fault section)"))
+		}
+		sc.Faults.Recovery = *recovery
+	}
+	if *dump {
+		if err := sc.WriteJSON(stdout); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	in, err := sc.Build()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *render {
-		fmt.Print(trace.RenderTree(in.Base))
+		fmt.Fprint(stdout, trace.RenderTree(in.Base))
 	}
 	if *dot != "" {
 		if err := os.WriteFile(*dot, []byte(trace.DOT(in.Base)), 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := in.Trace.WriteJSON(f); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		f.Close()
 	}
@@ -137,44 +172,71 @@ func main() {
 	if *gantt {
 		in.Opts.Instrument = true
 	}
+	if *audit {
+		if sc.Policy == "ps" {
+			return fail(fmt.Errorf("-audit: processor sharing has no discrete slices to audit"))
+		}
+		in.Opts.Instrument = true
+		in.Opts.RecordSlices = true
+	}
 	res, err := in.Run()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	lb := lowerbound.Best(in.Tree, in.Trace)
 	sum := metrics.FlowSummary(res)
-	fmt.Printf("topology        %s (%d nodes, %d machines)\n", sc.Topology, in.Tree.NumNodes(), len(in.Tree.Leaves()))
-	fmt.Printf("workload        %d jobs, load %.2f, seed %d\n", sc.Workload.N, sc.Workload.Load, sc.Seed)
-	fmt.Printf("scheduler       %s + %s, speed %.2f\n", in.Assigner.Name(), in.Opts.Policy.Name(), printedSpeed(sc, *scenFile == "", *speed))
-	fmt.Printf("total flow      %.4g\n", res.Stats.TotalFlow)
-	fmt.Printf("fractional flow %.4g\n", res.Stats.FracFlow)
-	fmt.Printf("flow/job        %s\n", sum)
-	fmt.Printf("makespan        %.4g, events %d\n", res.Stats.Makespan, res.Stats.Events)
-	fmt.Printf("OPT lower bound %.4g  =>  competitive ratio <= %.3f\n", lb, res.Stats.TotalFlow/lb)
+	fmt.Fprintf(stdout, "topology        %s (%d nodes, %d machines)\n", sc.Topology, in.Tree.NumNodes(), len(in.Tree.Leaves()))
+	fmt.Fprintf(stdout, "workload        %d jobs, load %.2f, seed %d\n", sc.Workload.N, sc.Workload.Load, sc.Seed)
+	fmt.Fprintf(stdout, "scheduler       %s + %s, speed %.2f\n", in.Assigner.Name(), in.Opts.Policy.Name(), printedSpeed(sc, *scenFile == "", *speed))
+	if in.FaultPlan != nil {
+		rec := sc.Faults.Recovery
+		if rec == "" {
+			rec = "hold"
+		}
+		fmt.Fprintf(stdout, "faults          %d events, %s recovery, %d migrations\n",
+			len(in.FaultPlan.Events), rec, len(res.Sim.Migrations()))
+	}
+	if *audit {
+		// Drain already ran the auditor (instrumented + recorded
+		// slices) and would have failed on any violation; report the
+		// coverage explicitly.
+		rep := res.Sim.Audit()
+		status := "OK"
+		if !rep.OK() {
+			status = fmt.Sprintf("%d violations", len(rep.Violations))
+		}
+		fmt.Fprintf(stdout, "audit           %s, %d slices over %d tasks\n", status, rep.Slices, rep.Tasks)
+	}
+	fmt.Fprintf(stdout, "total flow      %.4g\n", res.Stats.TotalFlow)
+	fmt.Fprintf(stdout, "fractional flow %.4g\n", res.Stats.FracFlow)
+	fmt.Fprintf(stdout, "flow/job        %s\n", sum)
+	fmt.Fprintf(stdout, "makespan        %.4g, events %d\n", res.Stats.Makespan, res.Stats.Events)
+	fmt.Fprintf(stdout, "OPT lower bound %.4g  =>  competitive ratio <= %.3f\n", lb, res.Stats.TotalFlow/lb)
 	b := metrics.Bottleneck(res)
-	fmt.Printf("bottleneck      node %d at %.1f%% busy\n", b.Node, 100*b.Busy)
+	fmt.Fprintf(stdout, "bottleneck      node %d at %.1f%% busy\n", b.Node, 100*b.Busy)
 	if *checkLemmas {
 		rep1 := core.CheckLemma1(res, sc.EffEps(), sc.Workload.Heterogeneous())
-		fmt.Printf("Lemma 1         %d jobs, max ratio %.4f, violations %d\n", rep1.Jobs, rep1.MaxRatio, rep1.Violations)
-		fmt.Printf("Lemma 2         %d checks, max ratio %.4f, violations %d\n", lemma2.Checks, lemma2.MaxRatio, lemma2.Violations)
+		fmt.Fprintf(stdout, "Lemma 1         %d jobs, max ratio %.4f, violations %d\n", rep1.Jobs, rep1.MaxRatio, rep1.Violations)
+		fmt.Fprintf(stdout, "Lemma 2         %d checks, max ratio %.4f, violations %d\n", lemma2.Checks, lemma2.MaxRatio, lemma2.Violations)
 	}
 	if *gantt {
-		fmt.Println()
-		fmt.Print(trace.Gantt(res, 100))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, trace.Gantt(res, 100))
 	}
 	if *resultOut != "" {
 		f, err := os.Create(*resultOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := res.WriteJSON(f); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
+	return 0
 }
 
 // printedSpeed preserves the historical report line: the flag path
@@ -193,9 +255,4 @@ func printedSpeed(sc *scenario.Scenario, fromFlags bool, speedFlag float64) floa
 	default:
 		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "treesched:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exec runs the command and returns (exit code, stdout, stderr).
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunHappyPath(t *testing.T) {
+	code, out, errw := exec(t, "-topo", "star:4", "-n", "50", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	for _, want := range []string{"topology", "total flow", "competitive ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaultyScenario(t *testing.T) {
+	code, out, errw := exec(t,
+		"-topo", "fattree:2,2,2", "-n", "80", "-seed", "7",
+		"-faults", "leafloss:2,0.3", "-recovery", "redispatch")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "faults          2 events, redispatch recovery") {
+		t.Fatalf("report missing fault line:\n%s", out)
+	}
+}
+
+func TestRunAuditFlag(t *testing.T) {
+	code, out, errw := exec(t,
+		"-topo", "fattree:2,2,2", "-n", "80", "-seed", "7",
+		"-faults", "outages:3,20", "-audit")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "audit           OK") {
+		t.Fatalf("report missing audit line:\n%s", out)
+	}
+}
+
+func TestRunAuditRejectsPS(t *testing.T) {
+	code, _, errw := exec(t, "-topo", "star:4", "-n", "20", "-policy", "ps", "-audit")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "no discrete slices") {
+		t.Fatalf("stderr %q missing PS explanation", errw)
+	}
+}
+
+func TestRunMissingScenarioFile(t *testing.T) {
+	code, _, errw := exec(t, "-scenario", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "absent.json") {
+		t.Fatalf("stderr does not name the missing file: %q", errw)
+	}
+}
+
+func TestRunMalformedScenarioJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"topology": "star:4", "wokload": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errw := exec(t, "-scenario", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "wokload") {
+		t.Fatalf("stderr does not name the offending field: %q", errw)
+	}
+}
+
+func TestRunUnknownRegistryNames(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-topo", "moebius:3"}, `unknown topology "moebius"`},
+		{[]string{"-topo", "star:4", "-policy", "fancy"}, `unknown policy "fancy"`},
+		{[]string{"-topo", "star:4", "-assigner", "psychic"}, `unknown assigner "psychic"`},
+		{[]string{"-topo", "star:4", "-faults", "meteor:3"}, `unknown fault plan "meteor"`},
+		{[]string{"-topo", "star:4", "-faults", "outages:2,5", "-recovery", "pray"}, `unknown faults.recovery "pray"`},
+		{[]string{"-topo", "star:4", "-recovery", "hold"}, "-recovery needs -faults"},
+	} {
+		code, _, errw := exec(t, append(tc.args, "-n", "20")...)
+		if code != 1 {
+			t.Fatalf("%v: exit %d, want 1 (stderr %q)", tc.args, code, errw)
+		}
+		if !strings.Contains(errw, tc.want) {
+			t.Fatalf("%v: stderr %q missing %q", tc.args, errw, tc.want)
+		}
+	}
+}
+
+func TestRunBadFlagExitsTwo(t *testing.T) {
+	code, _, _ := exec(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunDumpScenarioIncludesFaults(t *testing.T) {
+	code, out, errw := exec(t,
+		"-topo", "star:4", "-n", "20", "-faults", "outages:3,10", "-dump-scenario")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, `"plan": "outages:3,10"`) {
+		t.Fatalf("dump missing fault plan:\n%s", out)
+	}
+}

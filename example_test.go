@@ -61,7 +61,9 @@ func ExampleNewShadow() {
 	if err != nil {
 		panic(err)
 	}
-	sh.Finish()
+	if err := sh.Finish(); err != nil {
+		panic(err)
+	}
 	rep := treesched.CheckLemma8(res, sh)
 	fmt.Printf("jobs %d, per-job violations %d\n", rep.Jobs, rep.Violations)
 	// Output:

@@ -74,7 +74,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sh.Finish()
+	if err := sh.Finish(); err != nil {
+		log.Fatal(err)
+	}
 	rep := treesched.CheckLemma8(shadowRes, sh)
 
 	// An affinity-blind baseline.

@@ -146,7 +146,9 @@ func TestShadowAssignerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh.Finish()
+	if err := sh.Finish(); err != nil {
+		t.Fatal(err)
+	}
 	rep := CheckLemma8(res, sh)
 	if rep.Jobs != 300 {
 		t.Fatalf("Lemma8 compared %d jobs, want 300", rep.Jobs)
@@ -184,7 +186,9 @@ func TestLemma8PropertyIdentical(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		sh.Finish()
+		if err := sh.Finish(); err != nil {
+			return false
+		}
 		rep := CheckLemma8(res, sh)
 		return rep.Jobs == 60 && rep.Violations == 0
 	}
@@ -227,7 +231,9 @@ func TestLemma8UnrelatedAggregateFinding(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sh.Finish()
+		if err := sh.Finish(); err != nil {
+			t.Fatal(err)
+		}
 		rep := CheckLemma8(res, sh)
 		perJobViolations += rep.Violations
 		if rep.TotalFlowT > rep.TotalFlowT2+1e-6 {

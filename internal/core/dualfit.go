@@ -144,7 +144,9 @@ func RunDualFit(t *tree.Tree, trace *workload.Trace, eps float64) (*DualFitRepor
 			return nil, err
 		}
 	}
-	s.Drain()
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
 
 	st := s.Stats()
 	rep := rec.rep

@@ -97,11 +97,12 @@ func (sh *Shadow) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
 
 // Finish drains the broomstick simulation so its per-job completion
 // times are final. Call after the primary run completes.
-func (sh *Shadow) Finish() {
+func (sh *Shadow) Finish() error {
 	if !sh.drained {
-		sh.inner.Drain()
 		sh.drained = true
+		return sh.inner.Drain()
 	}
+	return nil
 }
 
 // Broomstick returns the reduction (reduced tree + leaf maps).

@@ -122,7 +122,9 @@ func runL8(cfg Config) (*Output, error) {
 			if err != nil {
 				return nil, err
 			}
-			sh.Finish()
+			if err := sh.Finish(); err != nil {
+				return nil, err
+			}
 			rep := core.CheckLemma8(res, sh)
 			totJobs += rep.Jobs
 			totViol += rep.Violations

@@ -94,7 +94,9 @@ func runA0(cfg Config) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		sh.Finish()
+		if err := sh.Finish(); err != nil {
+			return nil, err
+		}
 		rep := core.CheckLemma8(res, sh)
 		tb.AddRow("Lemma 8 (flow(T) <= flow(T'), identical)",
 			fmt.Sprintf("%d jobs, random tree", rep.Jobs),

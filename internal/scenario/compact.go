@@ -19,7 +19,8 @@ import (
 //
 // Keys: name topo process n size class load cap related unrelated
 // round maxweight policy assigner eps seed aseed speed speeds horizon
-// and the flags packetized instrument scanqueue slices.
+// faults recovery and the flags packetized instrument scanqueue
+// slices. Inline fault events, like inline jobs, are JSON-only.
 
 // Compact renders the scenario as its one-line form. Scenarios that
 // only JSON can express (inline jobs, names with whitespace) return
@@ -97,6 +98,17 @@ func (sc *Scenario) Compact() (string, error) {
 	}
 	if sc.Horizon != 0 {
 		add("horizon", strconv.Itoa(sc.Horizon))
+	}
+	if fs := sc.Faults; fs != nil {
+		if len(fs.Events) > 0 {
+			return "", fmt.Errorf("scenario: inline fault events have no compact form (use JSON)")
+		}
+		if fs.Plan.Name != "" {
+			add("faults", fs.Plan.String())
+		}
+		if fs.Recovery != "" {
+			add("recovery", fs.Recovery)
+		}
 	}
 	if sc.Engine.Packetized {
 		tok = append(tok, "packetized")
@@ -225,6 +237,24 @@ func (sc *Scenario) setCompact(key, val string) error {
 		sc.Speed.RootAdjacent, sc.Speed.Router, sc.Speed.Leaf = vals[0], vals[1], vals[2]
 	case "horizon":
 		sc.Horizon, err = strconv.Atoi(val)
+	case "faults":
+		var sp Spec
+		sp, err = ParseSpec(val)
+		if err != nil {
+			break
+		}
+		if sc.Faults == nil {
+			sc.Faults = &FaultSpec{}
+		}
+		sc.Faults.Plan = sp
+	case "recovery":
+		if val != "hold" && val != "redispatch" {
+			return fmt.Errorf("compact scenario: recovery=%s: want hold|redispatch", val)
+		}
+		if sc.Faults == nil {
+			sc.Faults = &FaultSpec{}
+		}
+		sc.Faults.Recovery = val
 	default:
 		return fmt.Errorf("compact scenario: unknown key %q", key)
 	}

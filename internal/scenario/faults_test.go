@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"treesched/internal/faults"
+	"treesched/internal/sim"
+)
+
+// faultySample is a full faulty scenario cell: seeded plan, redispatch
+// recovery, instrumentation on so Drain audits the schedule.
+func faultySample() *Scenario {
+	return &Scenario{
+		Name:     "faulty",
+		Topology: NewSpec("fattree", 2, 2, 2),
+		Workload: Workload{N: 150, Size: NewSpec("uniform", 1, 16), Load: 0.8},
+		Seed:     11,
+		Faults: &FaultSpec{
+			Plan:     NewSpec("outages", 4, 8),
+			Recovery: "redispatch",
+		},
+		Engine: Engine{Instrument: true, RecordSlices: true},
+	}
+}
+
+func TestFaultSpecRoundTrip(t *testing.T) {
+	sc := faultySample()
+	c, err := sc.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCompact(c)
+	if err != nil {
+		t.Fatalf("ParseCompact(%q): %v", c, err)
+	}
+	if !reflect.DeepEqual(back, sc) {
+		t.Fatalf("compact round trip:\n compact %q\n got  %+v\n want %+v", c, back, sc)
+	}
+
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromJSON, sc) {
+		t.Fatalf("JSON round trip:\n got  %+v\n want %+v", fromJSON, sc)
+	}
+}
+
+func TestFaultSpecInlineEventsJSONOnly(t *testing.T) {
+	sc := faultySample()
+	sc.Faults = &FaultSpec{Events: []faults.Event{
+		{Kind: faults.Outage, Node: 1, Start: 2, End: 4},
+		{Kind: faults.Brownout, Node: 2, Start: 1, End: 3, Factor: 0.5},
+	}}
+	if _, err := sc.Compact(); err == nil {
+		t.Fatal("inline fault events got a compact form")
+	}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, sc) {
+		t.Fatalf("JSON round trip with events:\n got  %+v\n want %+v", back, sc)
+	}
+}
+
+func TestFaultBuildErrors(t *testing.T) {
+	for name, mut := range map[string]func(*Scenario){
+		"unknown plan":        func(sc *Scenario) { sc.Faults.Plan = NewSpec("meteor", 3) },
+		"wrong arity":         func(sc *Scenario) { sc.Faults.Plan = NewSpec("outages", 3) },
+		"bad recovery":        func(sc *Scenario) { sc.Faults.Recovery = "pray" },
+		"empty spec":          func(sc *Scenario) { sc.Faults = &FaultSpec{} },
+		"plan and events":     func(sc *Scenario) { sc.Faults.Events = []faults.Event{{Kind: faults.Outage, Node: 1, Start: 0, End: 1}} },
+		"no survivor":         func(sc *Scenario) { sc.Faults.Plan = NewSpec("leafloss", 8, 0.5) },
+		"zero duration":       func(sc *Scenario) { sc.Faults.Plan = NewSpec("outages", 3, 0) },
+		"bad brownout factor": func(sc *Scenario) { sc.Faults.Plan = NewSpec("brownouts", 3, 8, 1.5) },
+		"invalid event":       func(sc *Scenario) { sc.Faults.Plan = Spec{}; sc.Faults.Events = []faults.Event{{Kind: faults.LeafLoss, Node: 1, Start: 0}} },
+	} {
+		sc := faultySample()
+		mut(sc)
+		if _, err := sc.Build(); err == nil {
+			t.Errorf("%s: Build accepted", name)
+		}
+	}
+}
+
+// A seeded faulty scenario is bit-for-bit reproducible: building the
+// same JSON twice yields identical traces, plans and schedules.
+func TestFaultScenarioReproducible(t *testing.T) {
+	run := func() (*Instance, *sim.Result) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := faultySample().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in, res
+	}
+	in1, res1 := run()
+	in2, res2 := run()
+	if !reflect.DeepEqual(in1.Trace, in2.Trace) {
+		t.Fatal("traces differ across builds of the same JSON")
+	}
+	if in1.FaultPlan == nil || !reflect.DeepEqual(in1.FaultPlan, in2.FaultPlan) {
+		t.Fatalf("fault plans differ: %+v vs %+v", in1.FaultPlan, in2.FaultPlan)
+	}
+	if res1.Stats != res2.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", res1.Stats, res2.Stats)
+	}
+	if !reflect.DeepEqual(res1.Sim.Slices(), res2.Sim.Slices()) {
+		t.Fatal("slices differ across identical faulty runs")
+	}
+	if !reflect.DeepEqual(res1.Sim.Migrations(), res2.Sim.Migrations()) {
+		t.Fatal("migrations differ across identical faulty runs")
+	}
+	if res1.Stats.Completed != 150 {
+		t.Fatalf("completed %d/150 under redispatch", res1.Stats.Completed)
+	}
+	// Instrument+RecordSlices means Drain already audited; a clean
+	// return is a conformance pass on the faulty schedule.
+	if rep := res1.Sim.Audit(); !rep.OK() {
+		t.Fatalf("faulty schedule failed audit: %s", rep.Summary())
+	}
+}
+
+// The fault plan draws after workload generation from the same
+// stream, so adding faults must not change the trace.
+func TestFaultPlanDoesNotPerturbTrace(t *testing.T) {
+	faulty := faultySample()
+	clean := faultySample()
+	clean.Faults = nil
+	inF, err := faulty.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inC, err := clean.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inF.Trace, inC.Trace) {
+		t.Fatal("fault plan perturbed the workload trace")
+	}
+	if inC.FaultPlan != nil || inC.Opts.Faults != nil {
+		t.Fatal("fault-free build carries fault state")
+	}
+}
+
+// Each builtin generator produces a plan that validates against its
+// tree and respects its own envelope.
+func TestBuiltinFaultPlans(t *testing.T) {
+	base := faultySample()
+	for _, spec := range []Spec{
+		NewSpec("outages", 6, 10),
+		NewSpec("brownouts", 6, 10, 0.25),
+		NewSpec("leafloss", 2, 0.5),
+	} {
+		sc := faultySample()
+		sc.Faults = &FaultSpec{Plan: spec, Recovery: "redispatch"}
+		in, err := sc.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.String(), err)
+		}
+		want := int(spec.Args[0])
+		if got := len(in.FaultPlan.Events); got != want {
+			t.Fatalf("%s: %d events, want %d", spec.String(), got, want)
+		}
+		if err := in.FaultPlan.Validate(in.Tree); err != nil {
+			t.Fatalf("%s: generated invalid plan: %v", spec.String(), err)
+		}
+		res, err := in.Run()
+		if err != nil {
+			t.Fatalf("%s: run: %v", spec.String(), err)
+		}
+		if res.Stats.Completed != base.Workload.N {
+			t.Fatalf("%s: completed %d/%d", spec.String(), res.Stats.Completed, base.Workload.N)
+		}
+	}
+	// leafloss places all deaths at the same instant on distinct leaves.
+	sc := faultySample()
+	sc.Faults = &FaultSpec{Plan: NewSpec("leafloss", 3, 0.25), Recovery: "redispatch"}
+	in, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]bool{}
+	for _, e := range in.FaultPlan.Events {
+		if e.Kind != faults.LeafLoss {
+			t.Fatalf("leafloss plan produced %s", e.Kind)
+		}
+		if e.Start != in.FaultPlan.Events[0].Start {
+			t.Fatalf("leafloss deaths not simultaneous: %v", in.FaultPlan.Events)
+		}
+		if nodes[int(e.Node)] {
+			t.Fatalf("leafloss repeated leaf %d", e.Node)
+		}
+		nodes[int(e.Node)] = true
+	}
+}

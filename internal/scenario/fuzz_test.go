@@ -22,6 +22,8 @@ func FuzzCompactRoundTrip(f *testing.F) {
 		"topo=star:6 unrelated=0.5,2,0.2,8,16 speeds=1,2.25,2.25 assigner=shadow",
 		"process=adversarial:32 n=120 assigner=jsq",
 		"topo=line:5 load=1e-3 seed=18446744073709551615",
+		"topo=fattree:2,2,2 n=150 size=uniform:1,16 load=0.8 seed=11 faults=outages:4,8 recovery=redispatch instrument slices",
+		"topo=star:8 n=100 size=uniform:1,4 load=0.7 faults=leafloss:2,0.5 recovery=hold",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -65,6 +67,10 @@ func FuzzScenarioJSON(f *testing.F) {
 			` "assigner": "closest", "engine": {"instrument": true}}`,
 		`{"topology": "fattree:2,1,4", "workload": {"n": 250, "size": "uniform:1,16",` +
 			` "related_speeds": [4, 2, 1, 1], "max_weight": 5}, "policy": "wsjf", "engine": {"packetized": true}}`,
+		`{"topology": "fattree:2,2,2", "workload": {"n": 150, "size": "uniform:1,16", "load": 0.8}, "seed": 11,` +
+			` "faults": {"plan": "brownouts:3,10,0.25", "recovery": "redispatch"}, "engine": {"instrument": true, "record_slices": true}}`,
+		`{"topology": "star:4", "workload": {"n": 50, "size": "uniform:1,4", "load": 0.5},` +
+			` "faults": {"events": [{"kind": "outage", "node": 2, "start": 1, "end": 3}], "recovery": "hold"}}`,
 		// compact input through the same entry point: Load auto-detects.
 		"topo=fattree:2,2,2 n=100 size=uniform:1,16 load=0.9 seed=1",
 	}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"treesched/internal/core"
+	"treesched/internal/faults"
 	"treesched/internal/rng"
 	"treesched/internal/sched"
 	"treesched/internal/sim"
@@ -137,7 +138,18 @@ type AssignerEntry struct {
 	Build func(ctx AssignerContext) (sim.Assigner, error)
 }
 
-// The five registries. Registration order defines the "(want a|b|c)"
+// FaultEntry is one named fault-plan generator. Build draws every
+// random choice from r (the scenario stream, after workload
+// generation) so a seeded faulty scenario reproduces bit for bit.
+// span is the trace's arrival span — generators place events inside
+// it.
+type FaultEntry struct {
+	Name   string
+	Params []Param
+	Build  func(r *rng.Rand, t *tree.Tree, span float64, args []float64) (*faults.Plan, error)
+}
+
+// The six registries. Registration order defines the "(want a|b|c)"
 // lists in error messages, so built-ins register in the historical
 // cli order.
 var (
@@ -146,6 +158,7 @@ var (
 	processReg = newRegistry[ProcessEntry]("arrival process")
 	policyReg  = newRegistry[PolicyEntry]("policy")
 	assignReg  = newRegistry[AssignerEntry]("assigner")
+	faultReg   = newRegistry[FaultEntry]("fault plan")
 )
 
 type registry[E any] struct {
@@ -195,13 +208,37 @@ func RegisterPolicy(e PolicyEntry) { policyReg.add(e.Name, e) }
 // RegisterAssigner adds a custom leaf-assignment rule.
 func RegisterAssigner(e AssignerEntry) { assignReg.add(e.Name, e) }
 
-// Topologies, Sizes, Processes, Policies and Assigners list the
-// registered names in registration order.
+// RegisterFaultPlan adds a custom fault-plan generator.
+func RegisterFaultPlan(e FaultEntry) { faultReg.add(e.Name, e) }
+
+// Topologies, Sizes, Processes, Policies, Assigners and FaultPlans
+// list the registered names in registration order.
 func Topologies() []string { return topoReg.names() }
 func Sizes() []string      { return sizeReg.names() }
 func Processes() []string  { return processReg.names() }
 func Policies() []string   { return policyReg.names() }
 func Assigners() []string  { return assignReg.names() }
+func FaultPlans() []string { return faultReg.names() }
+
+// BuildFaultPlan generates a fault plan from a registered spec. The
+// plan is validated against t before it is returned.
+func BuildFaultPlan(s Spec, r *rng.Rand, t *tree.Tree, span float64) (*faults.Plan, error) {
+	e, err := faultReg.lookup(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Args) != len(e.Params) {
+		return nil, fmt.Errorf("fault plan %s needs %s", s.Name, paramNames(e.Params))
+	}
+	p, err := e.Build(r, t, span, s.Args)
+	if err != nil {
+		return nil, fmt.Errorf("fault plan %s: %w", s.Name, err)
+	}
+	if err := p.Validate(t); err != nil {
+		return nil, fmt.Errorf("fault plan %s: %w", s.Name, err)
+	}
+	return p, nil
+}
 
 func init() {
 	RegisterTopology(TopoEntry{
@@ -345,6 +382,78 @@ func init() {
 		Name:  "jsq",
 		Build: func(AssignerContext) (sim.Assigner, error) { return sched.JoinShortestQueue{}, nil },
 	})
+
+	RegisterFaultPlan(FaultEntry{
+		Name:   "outages",
+		Params: []Param{{"count", true}, {"dur", false}},
+		Build: func(r *rng.Rand, t *tree.Tree, span float64, a []float64) (*faults.Plan, error) {
+			return transientPlan(faults.Outage, r, t, span, a[0], a[1], 0)
+		},
+	})
+	RegisterFaultPlan(FaultEntry{
+		Name:   "brownouts",
+		Params: []Param{{"count", true}, {"dur", false}, {"factor", false}},
+		Build: func(r *rng.Rand, t *tree.Tree, span float64, a []float64) (*faults.Plan, error) {
+			return transientPlan(faults.Brownout, r, t, span, a[0], a[1], a[2])
+		},
+	})
+	RegisterFaultPlan(FaultEntry{
+		Name:   "leafloss",
+		Params: []Param{{"count", true}, {"frac", false}},
+		Build: func(r *rng.Rand, t *tree.Tree, span float64, a []float64) (*faults.Plan, error) {
+			count, err := intCount(a[0])
+			if err != nil {
+				return nil, err
+			}
+			leaves := t.Leaves()
+			if count >= len(leaves) {
+				return nil, fmt.Errorf("losing %d of %d leaves leaves no survivor", count, len(leaves))
+			}
+			if !(a[1] >= 0 && a[1] <= 1) {
+				return nil, fmt.Errorf("frac %v outside [0,1]", formatFloat(a[1]))
+			}
+			at := a[1] * span
+			p := &faults.Plan{}
+			for _, i := range r.Perm(len(leaves))[:count] {
+				p.Events = append(p.Events, faults.Event{Kind: faults.LeafLoss, Node: leaves[i], Start: at})
+			}
+			return p, nil
+		},
+	})
+}
+
+// transientPlan draws count transient faults of one kind, node uniform
+// over the non-root nodes and start uniform in [0, span].
+func transientPlan(kind faults.Kind, r *rng.Rand, t *tree.Tree, span float64, countArg, dur, factor float64) (*faults.Plan, error) {
+	count, err := intCount(countArg)
+	if err != nil {
+		return nil, err
+	}
+	if dur <= 0 {
+		return nil, fmt.Errorf("dur %v must be positive", formatFloat(dur))
+	}
+	if t.NumNodes() < 2 {
+		return nil, fmt.Errorf("tree has no non-root node to fault")
+	}
+	p := &faults.Plan{}
+	for i := 0; i < count; i++ {
+		node := tree.NodeID(1 + r.Intn(t.NumNodes()-1))
+		start := r.Float64() * span
+		e := faults.Event{Kind: kind, Node: node, Start: start, End: start + dur}
+		if kind == faults.Brownout {
+			e.Factor = factor
+		}
+		p.Events = append(p.Events, e)
+	}
+	return p, nil
+}
+
+func intCount(v float64) (int, error) {
+	n := int(v)
+	if float64(n) != v || n < 0 {
+		return 0, fmt.Errorf("count %v is not a non-negative integer", formatFloat(v))
+	}
+	return n, nil
 }
 
 // splitSpec cuts "name:a,b,c" into its name and raw argument strings.

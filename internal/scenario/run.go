@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 
+	"treesched/internal/faults"
+	"treesched/internal/rng"
 	"treesched/internal/sim"
 	"treesched/internal/tree"
 	"treesched/internal/workload"
@@ -18,6 +20,9 @@ type Instance struct {
 	Tree     *tree.Tree
 	Trace    *workload.Trace
 	Assigner sim.Assigner
+	// FaultPlan is the resolved fault plan (nil without faults). Its
+	// compiled form is already installed in Opts.Faults.
+	FaultPlan *faults.Plan
 	// Opts is ready for sim.Run/New. Callers may attach the
 	// non-serializable options (Observer, SelfCheck) before running.
 	Opts sim.Options
@@ -57,7 +62,11 @@ func (sc *Scenario) Build() (*Instance, error) {
 		u.Leaves = len(base.Leaves())
 		w.Unrelated = &u
 	}
-	tr, err := w.Generate(sc.Seed)
+	// One rng stream per scenario: workload generation draws first,
+	// fault-plan generation after, so fault-free scenarios keep their
+	// historical traces bit for bit.
+	r := rng.New(sc.Seed)
+	tr, err := w.GenerateFrom(r)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: workload: %w", err)
 	}
@@ -78,10 +87,50 @@ func (sc *Scenario) Build() (*Instance, error) {
 			RecordSlices: sc.Engine.RecordSlices,
 		},
 	}
+	if sc.Faults != nil {
+		if err := applyFaults(in, r); err != nil {
+			return nil, err
+		}
+	}
 	if in.Assigner, err = in.NewAssigner(); err != nil {
 		return nil, err
 	}
 	return in, nil
+}
+
+// applyFaults resolves the scenario's fault spec into a compiled
+// schedule on in.Opts. The plan generator draws from r, the scenario
+// stream, right after workload generation.
+func applyFaults(in *Instance, r *rng.Rand) error {
+	fs := in.Scenario.Faults
+	switch {
+	case fs.Plan.Name != "" && len(fs.Events) > 0:
+		return fmt.Errorf("scenario: faults.plan and faults.events are mutually exclusive")
+	case fs.Plan.Name != "":
+		p, err := BuildFaultPlan(fs.Plan, r, in.Tree, in.Trace.Span())
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		in.FaultPlan = p
+	case len(fs.Events) > 0:
+		in.FaultPlan = &faults.Plan{Events: append([]faults.Event(nil), fs.Events...)}
+	default:
+		return fmt.Errorf("scenario: faults needs a plan or events")
+	}
+	switch fs.Recovery {
+	case "", "hold":
+		in.Opts.Recovery = sim.RecoverHold
+	case "redispatch":
+		in.Opts.Recovery = sim.RecoverRedispatch
+	default:
+		return fmt.Errorf("scenario: unknown faults.recovery %q (want hold|redispatch)", fs.Recovery)
+	}
+	sched, err := faults.Compile(in.Tree, in.FaultPlan)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	in.Opts.Faults = sched
+	return nil
 }
 
 // NewAssigner builds a fresh copy of the scenario's assigner (useful

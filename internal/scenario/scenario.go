@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"treesched/internal/faults"
 	"treesched/internal/rng"
 	"treesched/internal/workload"
 )
@@ -64,6 +65,14 @@ type Workload struct {
 // Unrelated.Leaves / len(RelatedSpeeds) to be resolved; Scenario.Build
 // fills them from the topology before calling this.
 func (w *Workload) Generate(seed uint64) (*workload.Trace, error) {
+	return w.GenerateFrom(rng.New(seed))
+}
+
+// GenerateFrom produces the trace drawing from an existing rng stream.
+// Scenario.Build owns one stream per scenario: workload generation
+// draws first, fault-plan generation after, so fault-free scenarios
+// reproduce their historical traces bit for bit.
+func (w *Workload) GenerateFrom(r *rng.Rand) (*workload.Trace, error) {
 	if len(w.Jobs) > 0 {
 		tr := &workload.Trace{Jobs: append([]workload.Job(nil), w.Jobs...)}
 		if err := tr.Validate(); err != nil {
@@ -82,7 +91,6 @@ func (w *Workload) Generate(seed uint64) (*workload.Trace, error) {
 			size = workload.ClassRounded{Base: size, Eps: w.ClassEps}
 		}
 	}
-	r := rng.New(seed)
 	tr, err := buildProcess(w.Process, r, workload.GenConfig{
 		N: w.N, Size: size, Load: w.Load, Capacity: w.Capacity,
 	})
@@ -149,6 +157,21 @@ type Speed struct {
 
 func (s Speed) zero() bool { return s == Speed{} }
 
+// FaultSpec describes deterministic fault injection. Plan names a
+// registered fault-plan generator whose events are drawn from the
+// scenario's rng stream (after workload generation); Events lists the
+// faults explicitly instead (JSON only, like inline Jobs). The two are
+// mutually exclusive.
+type FaultSpec struct {
+	// Plan is the registered generator spec ("outages:3,10").
+	Plan Spec `json:"plan,omitempty"`
+	// Events is the explicit fault list (JSON form only).
+	Events []faults.Event `json:"events,omitempty"`
+	// Recovery selects the permanent-leaf-loss policy: "hold" (default)
+	// or "redispatch".
+	Recovery string `json:"recovery,omitempty"`
+}
+
 // Engine selects run-mode options that change the schedule or its
 // instrumentation. Function-valued sim.Options (Observer, SelfCheck)
 // are deliberately excluded: they are code, not data, and callers
@@ -194,6 +217,8 @@ type Scenario struct {
 	// Horizon is the LP horizon in unit slots for bound tooling
 	// (cmd/lpbound); the event engine does not use it.
 	Horizon int `json:"horizon,omitempty"`
+	// Faults, when set, injects deterministic node faults.
+	Faults *FaultSpec `json:"faults,omitempty"`
 	// Engine selects run-mode options.
 	Engine Engine `json:"engine,omitempty"`
 }

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"treesched/internal/tree"
+)
+
+// The schedule-conformance auditor replays a recorded slice log and
+// independently re-verifies the paper's model constraints:
+//
+//   - overlap: a node processes at most one task at any instant,
+//   - precedence: store-and-forward — a task's work on a node may only
+//     start after the full size was delivered by every ancestor hop,
+//   - speed-budget: no node is credited more work over a window than
+//     base speed × ∫ fault-factor dt allows for the task's requirement,
+//   - release: no work before the task's release (immediate dispatch
+//     is enforced structurally at injection, so work preceding release
+//     is the observable breach),
+//   - migration / non-migration: work must stay on the recorded path;
+//     a change of leaf is legal only at a recorded recovery Migration,
+//   - completion: a completed task's final journey carries the full
+//     per-hop requirement and its last slice ends at the completion.
+//
+// The auditor shares no state with the event loop beyond the records
+// themselves, so a bookkeeping bug in the engine surfaces here as a
+// structured violation instead of silently skewing metrics.
+
+// auditTol is the relative tolerance for audited comparisons; slice
+// endpoints are computed with a different operation order than the
+// engine's incremental sync, so the last few ulps differ.
+func auditTol(x float64) float64 { return 1e-6 * math.Max(1, math.Abs(x)) }
+
+// Violation is one audited constraint breach.
+type Violation struct {
+	// Rule is the violated constraint: overlap, precedence, off-path,
+	// speed-budget, release, completion, migration, unknown-task or
+	// malformed.
+	Rule   string
+	Node   tree.NodeID
+	Job    int
+	Seq    int64
+	At     float64
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] t=%.6g node=%d job=%d seq=%d: %s", v.Rule, v.At, v.Node, v.Job, v.Seq, v.Detail)
+}
+
+// AuditReport is the auditor's structured result.
+type AuditReport struct {
+	Slices     int
+	Tasks      int
+	Violations []Violation
+}
+
+// OK reports whether the audited schedule satisfied every constraint.
+func (r *AuditReport) OK() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report as a short human-readable diagnostic.
+func (r *AuditReport) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("audit OK: %d slice(s) over %d task(s)", r.Slices, r.Tasks)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d violation(s) in %d slice(s) over %d task(s)", len(r.Violations), r.Slices, r.Tasks)
+	const show = 8
+	for i, v := range r.Violations {
+		if i == show {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(r.Violations)-show)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+func (r *AuditReport) add(v Violation) { r.Violations = append(r.Violations, v) }
+
+// AuditError carries a failed audit through Drain's error return.
+type AuditError struct {
+	Report *AuditReport
+}
+
+func (e *AuditError) Error() string {
+	return "sim: schedule audit failed: " + e.Report.Summary()
+}
+
+// Audit verifies the engine's own recorded slice log. It requires
+// Options.RecordSlices and a non-PS policy (processor sharing has no
+// discrete slices to audit).
+func (s *Sim) Audit() *AuditReport {
+	if !s.opts.RecordSlices || s.ps {
+		panic("sim: Audit requires Options.RecordSlices and a non-PS policy")
+	}
+	return s.AuditSlices(s.slices)
+}
+
+// AuditSlices verifies an arbitrary slice log against this engine's
+// tasks, topology, fault schedule and migration record — the log need
+// not be the engine's own (tests feed deliberately corrupted copies).
+func (s *Sim) AuditSlices(slices []Slice) *AuditReport {
+	rep := &AuditReport{Slices: len(slices), Tasks: len(s.tasks)}
+	s.auditPerNode(slices, rep)
+	s.auditPerTask(slices, rep)
+	return rep
+}
+
+// auditPerNode checks slice well-formedness and the ≤1-task-per-node
+// exclusivity constraint.
+func (s *Sim) auditPerNode(slices []Slice, rep *AuditReport) {
+	perNode := make([][]Slice, s.tree.NumNodes())
+	for _, sl := range slices {
+		if int(sl.Node) <= 0 || int(sl.Node) >= s.tree.NumNodes() {
+			rep.add(Violation{Rule: "malformed", Node: sl.Node, Job: sl.Job, Seq: sl.Seq, At: sl.From,
+				Detail: fmt.Sprintf("slice on unknown node %d", sl.Node)})
+			continue
+		}
+		if !(sl.To > sl.From) {
+			rep.add(Violation{Rule: "malformed", Node: sl.Node, Job: sl.Job, Seq: sl.Seq, At: sl.From,
+				Detail: fmt.Sprintf("empty or reversed slice [%.6g,%.6g]", sl.From, sl.To)})
+			continue
+		}
+		perNode[sl.Node] = append(perNode[sl.Node], sl)
+	}
+	for v := range perNode {
+		lst := perNode[v]
+		sort.Slice(lst, func(i, j int) bool {
+			if lst[i].From != lst[j].From {
+				return lst[i].From < lst[j].From
+			}
+			return lst[i].To < lst[j].To
+		})
+		for i := 1; i < len(lst); i++ {
+			prev, cur := lst[i-1], lst[i]
+			if cur.From < prev.To-auditTol(prev.To) {
+				rep.add(Violation{Rule: "overlap", Node: cur.Node, Job: cur.Job, Seq: cur.Seq, At: cur.From,
+					Detail: fmt.Sprintf("tasks %d and %d overlap on node %d: [%.6g,%.6g] vs [%.6g,%.6g]",
+						prev.Seq, cur.Seq, cur.Node, prev.From, prev.To, cur.From, cur.To)})
+			}
+		}
+	}
+}
+
+// journey is one leg of a task's life: the path it followed and its
+// leaf requirement there, until endsAt (a recovery re-dispatch) or
+// forever for the final leg.
+type journey struct {
+	path     []tree.NodeID
+	leafWork float64
+	endsAt   float64
+}
+
+func (s *Sim) auditPerTask(slices []Slice, rep *AuditReport) {
+	taskBySeq := make(map[int64]*JobState, len(s.tasks))
+	for _, js := range s.tasks {
+		taskBySeq[js.seq] = js
+	}
+	migsBySeq := make(map[int64][]Migration)
+	for _, m := range s.migrations {
+		migsBySeq[m.Seq] = append(migsBySeq[m.Seq], m)
+	}
+	bySeq := make(map[int64][]Slice)
+	unknown := make(map[int64]bool)
+	for _, sl := range slices {
+		if _, ok := taskBySeq[sl.Seq]; !ok {
+			if !unknown[sl.Seq] {
+				unknown[sl.Seq] = true
+				rep.add(Violation{Rule: "unknown-task", Node: sl.Node, Job: sl.Job, Seq: sl.Seq, At: sl.From,
+					Detail: fmt.Sprintf("slice for task seq %d which was never injected", sl.Seq)})
+			}
+			continue
+		}
+		bySeq[sl.Seq] = append(bySeq[sl.Seq], sl)
+	}
+	// Iterate tasks in injection order for a deterministic report.
+	for _, js := range s.tasks {
+		s.auditTask(js, bySeq[js.seq], migsBySeq[js.seq], rep)
+	}
+}
+
+// credit is the work a slice delivers to its task: base speed times
+// the fault-factor integral over the window (plain duration when no
+// fault schedule is configured).
+func (s *Sim) credit(v tree.NodeID, from, to float64) float64 {
+	base := s.nodes[v].baseSpeed
+	if fs := s.opts.Faults; fs != nil {
+		return base * fs.Integral(v, from, to)
+	}
+	return base * (to - from)
+}
+
+func (s *Sim) auditTask(js *JobState, slices []Slice, migs []Migration, rep *AuditReport) {
+	sort.Slice(slices, func(i, j int) bool {
+		if slices[i].From != slices[j].From {
+			return slices[i].From < slices[j].From
+		}
+		return slices[i].Node < slices[j].Node
+	})
+	// Migrations arrive in time order; each one closes a journey whose
+	// path and leaf requirement it recorded.
+	journeys := make([]journey, 0, len(migs)+1)
+	for _, m := range migs {
+		journeys = append(journeys, journey{path: m.OldPath, leafWork: m.OldLeafWork, endsAt: m.At})
+	}
+	journeys = append(journeys, journey{path: js.Path, leafWork: js.LeafWork, endsAt: math.Inf(1)})
+	sizeOn := func(j journey, h int) float64 {
+		if h == len(j.path)-1 {
+			return j.leafWork
+		}
+		return js.RouterSize
+	}
+
+	jIdx, hop := 0, 0
+	credited := make([]float64, len(journeys[0].path))
+	lastTo := js.Release
+	for _, sl := range slices {
+		if !(sl.To > sl.From) {
+			continue // already reported as malformed
+		}
+		if sl.From < js.Release-auditTol(js.Release) {
+			rep.add(Violation{Rule: "release", Node: sl.Node, Job: js.ID, Seq: js.seq, At: sl.From,
+				Detail: fmt.Sprintf("work starts at %.6g before release %.6g", sl.From, js.Release)})
+		}
+		for jIdx < len(journeys)-1 && sl.From >= journeys[jIdx].endsAt {
+			jIdx++
+			hop = 0
+			credited = make([]float64, len(journeys[jIdx].path))
+		}
+		j := journeys[jIdx]
+		if sl.To > j.endsAt+auditTol(j.endsAt) {
+			rep.add(Violation{Rule: "migration", Node: sl.Node, Job: js.ID, Seq: js.seq, At: sl.From,
+				Detail: fmt.Sprintf("slice [%.6g,%.6g] extends past the re-dispatch at %.6g", sl.From, sl.To, j.endsAt)})
+		}
+		h := -1
+		for i := hop; i < len(j.path); i++ {
+			if j.path[i] == sl.Node {
+				h = i
+				break
+			}
+		}
+		if h < 0 {
+			rule, detail := "off-path", fmt.Sprintf("work on node %d which is not on the task's path", sl.Node)
+			for i := 0; i < hop; i++ {
+				if j.path[i] == sl.Node {
+					rule = "precedence"
+					detail = fmt.Sprintf("work on node %d (hop %d) after the task advanced to hop %d", sl.Node, i, hop)
+					break
+				}
+			}
+			rep.add(Violation{Rule: rule, Node: sl.Node, Job: js.ID, Seq: js.seq, At: sl.From, Detail: detail})
+			continue
+		}
+		if h > hop {
+			// Store-and-forward: advancing to a deeper hop requires the
+			// full size delivered on every hop above it...
+			for i := hop; i < h; i++ {
+				want := sizeOn(j, i)
+				if credited[i] < want-auditTol(want) {
+					rep.add(Violation{Rule: "precedence", Node: sl.Node, Job: js.ID, Seq: js.seq, At: sl.From,
+						Detail: fmt.Sprintf("node %d starts with only %.6g of %.6g done on ancestor node %d",
+							sl.Node, credited[i], want, j.path[i])})
+				}
+			}
+			// ...and the child cannot start before the parent's last
+			// recorded instant of work.
+			if sl.From < lastTo-auditTol(lastTo) {
+				rep.add(Violation{Rule: "precedence", Node: sl.Node, Job: js.ID, Seq: js.seq, At: sl.From,
+					Detail: fmt.Sprintf("node %d starts at %.6g before its ancestor finished at %.6g", sl.Node, sl.From, lastTo)})
+			}
+			hop = h
+		}
+		credited[hop] += s.credit(sl.Node, sl.From, sl.To)
+		if want := sizeOn(j, hop); credited[hop] > want+auditTol(want) {
+			rep.add(Violation{Rule: "speed-budget", Node: sl.Node, Job: js.ID, Seq: js.seq, At: sl.To,
+				Detail: fmt.Sprintf("node %d credited %.6g of a %.6g requirement (exceeds the node's speed budget)",
+					sl.Node, credited[hop], want)})
+		}
+		if sl.To > lastTo {
+			lastTo = sl.To
+		}
+	}
+	if !js.Completed {
+		return
+	}
+	final := journeys[len(journeys)-1]
+	if jIdx != len(journeys)-1 {
+		rep.add(Violation{Rule: "completion", Node: js.Leaf, Job: js.ID, Seq: js.seq, At: js.Completion,
+			Detail: "completed task has no recorded work on its final path"})
+		return
+	}
+	for i, v := range final.path {
+		want := sizeOn(final, i)
+		if credited[i] < want-auditTol(want) {
+			rep.add(Violation{Rule: "completion", Node: v, Job: js.ID, Seq: js.seq, At: js.Completion,
+				Detail: fmt.Sprintf("completed with only %.6g of %.6g credited on node %d", credited[i], want, v)})
+		}
+	}
+	if math.Abs(lastTo-js.Completion) > auditTol(js.Completion) {
+		rep.add(Violation{Rule: "completion", Node: js.Leaf, Job: js.ID, Seq: js.seq, At: js.Completion,
+			Detail: fmt.Sprintf("last recorded work ends at %.6g but completion is %.6g", lastTo, js.Completion)})
+	}
+}

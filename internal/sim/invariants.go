@@ -76,7 +76,7 @@ func (s *Sim) CheckInvariants() error {
 		for _, js := range n.avail.tasks() {
 			count++
 			if onNode[js] != v {
-				panic(fmt.Sprintf("sim: task %d queued on node %d but current node is %d", js.ID, v, onNode[js]))
+				return fmt.Errorf("sim: task %d queued on node %d but current node is %d", js.ID, v, onNode[js])
 			}
 		}
 		if n.running != nil {

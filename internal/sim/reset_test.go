@@ -146,7 +146,9 @@ func TestSteadyStateAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		s.Drain()
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
 		if s.Active() != 0 {
 			t.Fatal("drain left active tasks")
 		}

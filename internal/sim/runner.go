@@ -92,7 +92,8 @@ func RunOn(s *Sim, trace *workload.Trace, asg Assigner) (*Result, error) {
 // per-job metrics (which necessarily allocate a Result). On a warmed
 // engine this is the zero-allocation path measurement loops use; the
 // engine is left drained, so Stats()/Tasks() remain readable.
-func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) error {
+func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) (err error) {
+	defer recoverInternal(&err)
 	if err := trace.Validate(); err != nil {
 		return err
 	}
@@ -114,8 +115,7 @@ func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) error {
 			return fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
 		}
 	}
-	s.Drain()
-	return nil
+	return s.Drain()
 }
 
 func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
@@ -167,7 +167,8 @@ func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
 // (store-and-forward per packet, so the job pipelines across routers).
 // The job completes when its last packet finishes on the leaf. The
 // leaf assignment is still decided once per job at arrival.
-func RunPacketized(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Options) (*Result, error) {
+func RunPacketized(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Options) (res *Result, err error) {
+	defer recoverInternal(&err)
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
@@ -198,12 +199,15 @@ func RunPacketized(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Optio
 			js.PrioLeaf = a.LeafSize(li)
 			js.FracWeight = 1 / float64(k)
 			js.Leaf = leaf
+			js.leafSizes = j.LeafSizes
 			s.nextSeq++
 			if err := s.inject(js, tree.NodeID(j.Origin)); err != nil {
 				return nil, err
 			}
 		}
 	}
-	s.Drain()
+	if err := s.Drain(); err != nil {
+		return nil, err
+	}
 	return collect(t, s, len(trace.Jobs))
 }

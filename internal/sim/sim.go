@@ -3,7 +3,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"treesched/internal/faults"
 	"treesched/internal/tree"
 )
 
@@ -62,6 +64,11 @@ type JobState struct {
 	HopArrive   []float64
 	HopComplete []float64
 
+	// leafSizes references the arrival's per-leaf sizes (nil for
+	// identical endpoints); recovery re-dispatch needs it to recompute
+	// LeafWork on the new leaf.
+	leafSizes []float64
+
 	// key1/key2 cache the node policy's priority key.
 	key1, key2 float64
 	// qidx is the task's position in its node's queue (-1 if absent).
@@ -81,9 +88,12 @@ func (js *JobState) CurrentNode() tree.NodeID {
 }
 
 type nodeState struct {
-	id    tree.NodeID
-	speed float64
-	leaf  bool
+	id tree.NodeID
+	// speed is the node's current effective speed; baseSpeed is the
+	// tree's speed, which fault boundaries scale by their factor.
+	speed     float64
+	baseSpeed float64
+	leaf      bool
 
 	avail   taskQueue
 	running *JobState
@@ -126,6 +136,41 @@ type Options struct {
 	// proportional to the number of preemptions. Not supported in
 	// processor-sharing mode (work is fluid there).
 	RecordSlices bool
+	// Faults, when set, applies the compiled fault schedule: node
+	// speeds become piecewise-constant (base speed × factor), and
+	// permanent leaf losses trigger the Recovery policy. The schedule
+	// must be compiled against the engine's tree.
+	Faults *faults.Schedule
+	// Recovery selects what happens to tasks assigned to a permanently
+	// lost leaf (RecoverHold when unset).
+	Recovery RecoveryPolicy
+}
+
+// RecoveryPolicy selects the permanent-leaf-loss behavior.
+type RecoveryPolicy int
+
+const (
+	// RecoverHold leaves tasks assigned to a lost leaf in place: they
+	// stall (their waiting keeps accruing in ActiveIntegral) and Drain
+	// reports them in a StuckError.
+	RecoverHold RecoveryPolicy = iota
+	// RecoverRedispatch re-dispatches each incomplete task of a lost
+	// leaf from the root toward the surviving leaf with the least
+	// remaining assigned volume, recording a Migration per task. Work
+	// already done on the abandoned journey is lost.
+	RecoverRedispatch
+)
+
+// Migration records one recovery re-dispatch of a task off a
+// permanently lost leaf. OldPath and OldLeafWork describe the
+// abandoned journey (the auditor checks partial work against them).
+type Migration struct {
+	Job         int
+	Seq         int64
+	At          float64
+	From, To    tree.NodeID
+	OldPath     []tree.NodeID
+	OldLeafWork float64
 }
 
 // Slice is one maximal interval during which a node processed a task.
@@ -181,8 +226,16 @@ type Sim struct {
 	activeTasks int
 	// ps marks processor-sharing mode (Options.Policy == PS{}).
 	ps bool
-	// slices holds the exact processing record when RecordSlices.
-	slices []Slice
+	// faultIdx is the cursor into opts.Faults.Boundaries(); boundaries
+	// before it have been applied.
+	faultIdx int
+	// migrations records recovery re-dispatches in time order.
+	migrations []Migration
+	// slices holds the exact processing record when RecordSlices;
+	// slices below mergeFloor predate the latest migration and must
+	// not be extended by sync's merge.
+	slices     []Slice
+	mergeFloor int
 	// Running totals.
 	fracSum        float64 // Σ weight * remainingLeafFraction over active tasks
 	fracRate       float64 // d(fracSum)/dt from leaves currently processing
@@ -198,7 +251,8 @@ func New(t *tree.Tree, opts Options) *Sim {
 	for i := range s.nodes {
 		n := &s.nodes[i]
 		n.id = tree.NodeID(i)
-		n.speed = t.Speed(n.id)
+		n.baseSpeed = t.Speed(n.id)
+		n.speed = n.baseSpeed
 		n.leaf = t.IsLeaf(n.id)
 	}
 	s.assigned = make([][]*JobState, len(t.Leaves()))
@@ -214,6 +268,10 @@ func (s *Sim) applyOptions(opts Options) {
 	if opts.Policy == nil {
 		opts.Policy = SJF{}
 	}
+	if opts.Faults != nil && opts.Faults.NumNodes() != len(s.nodes) {
+		panic(fmt.Sprintf("sim: fault schedule compiled for %d nodes, tree has %d",
+			opts.Faults.NumNodes(), len(s.nodes)))
+	}
 	_, ps := opts.Policy.(PS)
 	// Processor sharing recomputes the next completion by scanning,
 	// so the heap's cached keys would be stale.
@@ -223,6 +281,10 @@ func (s *Sim) applyOptions(opts Options) {
 	s.ps = ps
 	for i := range s.nodes {
 		n := &s.nodes[i]
+		// A previous run's fault boundaries may have left a scaled
+		// speed behind; every run starts at base speed (the schedule's
+		// own t=0 boundaries re-apply active faults).
+		n.speed = n.baseSpeed
 		switch {
 		case n.avail == nil || scan != prevScan:
 			if scan {
@@ -275,8 +337,11 @@ func (s *Sim) Reset(opts Options) {
 	}
 	s.activeTasks = 0
 	s.slices = s.slices[:0]
+	s.mergeFloor = 0
 	s.fracSum, s.fracRate, s.fracIntegral, s.activeIntegral = 0, 0, 0, 0
 	s.eventCount = 0
+	s.faultIdx = 0
+	s.migrations = s.migrations[:0]
 	s.applyOptions(opts)
 }
 
@@ -351,6 +416,12 @@ func (s *Sim) Inject(a *Arrival, leaf tree.NodeID) (*JobState, error) {
 	if a.Release > s.now+timeEps {
 		return nil, fmt.Errorf("sim: injecting job %d at t=%v before its release %v", a.ID, s.now, a.Release)
 	}
+	// Fault boundaries due at or before now take effect first, so a
+	// job injected at exactly a boundary instant sees the post-fault
+	// speeds (AdvanceTo already applies earlier ones).
+	if s.opts.Faults != nil {
+		s.applyDueBoundaries()
+	}
 	w := a.Weight
 	if w <= 0 {
 		w = 1
@@ -364,6 +435,7 @@ func (s *Sim) Inject(a *Arrival, leaf tree.NodeID) (*JobState, error) {
 	js.FracWeight = 1
 	js.Weight = w
 	js.Leaf = leaf
+	js.leafSizes = a.LeafSizes
 	s.nextSeq++
 	return js, s.inject(js, a.Origin)
 }
@@ -371,6 +443,22 @@ func (s *Sim) Inject(a *Arrival, leaf tree.NodeID) (*JobState, error) {
 func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 	if js.Weight <= 0 {
 		js.Weight = 1
+	}
+	// Under redispatch recovery a fault-oblivious assigner may still
+	// target an already-dead leaf; the dispatcher redirects the arrival
+	// to a survivor (no Migration is recorded — the task never started
+	// its original journey).
+	if s.opts.Faults != nil && s.opts.Recovery == RecoverRedispatch {
+		if at, dead := s.opts.Faults.DeathTime(js.Leaf); dead && at <= s.now {
+			if to := s.pickSurvivor(js); to != tree.None {
+				li := s.tree.LeafIndex(to)
+				js.Leaf = to
+				if js.leafSizes != nil {
+					js.LeafWork = js.leafSizes[li] * js.FracWeight
+					js.PrioLeaf = js.leafSizes[li]
+				}
+			}
+		}
 	}
 	full := s.tree.Path(js.Leaf)
 	if origin != 0 {
@@ -467,6 +555,11 @@ func (s *Sim) sync(v tree.NodeID) {
 	if dt <= 0 {
 		return
 	}
+	if n.speed <= 0 {
+		// Outage: the node is stalled, performing no work and counting
+		// no busy time; no slice is recorded.
+		return
+	}
 	if s.ps {
 		k := n.avail.len()
 		if k == 0 {
@@ -497,8 +590,11 @@ func (s *Sim) sync(v tree.NodeID) {
 	n.busyTime += dt
 	n.workDone += done
 	if s.opts.RecordSlices {
-		// Merge with the previous slice when the same task continued.
-		if k := len(s.slices) - 1; k >= 0 && s.slices[k].Node == v &&
+		// Merge with the previous slice when the same task continued —
+		// but never across a migration (mergeFloor): a re-dispatched
+		// task restarting on the same node is a new journey and the
+		// auditor checks the two legs separately.
+		if k := len(s.slices) - 1; k >= 0 && k >= s.mergeFloor && s.slices[k].Node == v &&
 			s.slices[k].Seq == n.running.seq && s.slices[k].To == from {
 			s.slices[k].To = s.now
 		} else {
@@ -510,7 +606,14 @@ func (s *Sim) sync(v tree.NodeID) {
 // reschedule re-evaluates which task node v should run, scheduling or
 // cancelling its finish event as needed. Callers must have already
 // advanced time; reschedule syncs the node itself.
-func (s *Sim) reschedule(v tree.NodeID) {
+func (s *Sim) reschedule(v tree.NodeID) { s.rescheduleWith(v, false) }
+
+// rescheduleForce reissues the finish event even when the running
+// task is unchanged — needed after a fault boundary changes the
+// node's speed underneath it, which moves the deadline.
+func (s *Sim) rescheduleForce(v tree.NodeID) { s.rescheduleWith(v, true) }
+
+func (s *Sim) rescheduleWith(v tree.NodeID, force bool) {
 	if s.ps {
 		s.reschedulePS(v)
 		return
@@ -523,7 +626,7 @@ func (s *Sim) reschedule(v tree.NodeID) {
 		n.avail.fix(n.running)
 	}
 	best := n.avail.min()
-	if best == n.running {
+	if best == n.running && !force {
 		return
 	}
 	n.running = best
@@ -538,6 +641,11 @@ func (s *Sim) reschedule(v tree.NodeID) {
 	if n.leaf {
 		n.fracContrib = best.FracWeight * n.speed / best.OrigOnCur
 		s.fracRate += n.fracContrib
+	}
+	if n.speed <= 0 {
+		// Outage: the task stays selected but cannot finish; the next
+		// fault boundary restores the speed and reschedules.
+		return
 	}
 	s.events = append(s.events, finishEvent{
 		at:   s.now + best.Remaining/n.speed,
@@ -580,6 +688,9 @@ func (s *Sim) reschedulePS(v tree.NodeID) {
 		}
 		n.fracContrib = contrib
 		s.fracRate += contrib
+	}
+	if n.speed <= 0 {
+		return // outage: no completion until a boundary restores speed
 	}
 	s.events = append(s.events, finishEvent{
 		at:   s.now + best.Remaining*k/n.speed,
@@ -668,15 +779,27 @@ func (s *Sim) advanceClock(to float64) {
 	s.now = to
 }
 
-// AdvanceTo processes all events up to and including the target time
-// and leaves the clock there.
+// AdvanceTo processes all events (and fault boundaries) up to and
+// including the target time and leaves the clock there. Violated
+// engine invariants panic with *InternalError; Drain, ReplayOn and
+// RunPacketized recover those into error returns.
 func (s *Sim) AdvanceTo(target float64) {
 	if target < s.now-timeEps {
 		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now=%v", target, s.now))
 	}
 	for {
-		ev, ok := s.nextEvent()
-		if !ok || ev.at > target {
+		ev, evOK := s.nextEvent()
+		if s.opts.Faults != nil {
+			// Boundaries interleave with finish events; finish events
+			// win ties so a task completing exactly at an outage start
+			// still completes.
+			if b, bOK := s.peekBoundary(); bOK && b.At <= target && (!evOK || b.At < ev.at || ev.at > target) {
+				s.advanceClock(b.At)
+				s.applyBoundary(b)
+				continue
+			}
+		}
+		if !evOK || ev.at > target {
 			break
 		}
 		s.popEvent()
@@ -686,11 +809,23 @@ func (s *Sim) AdvanceTo(target float64) {
 	s.advanceClock(target)
 }
 
-// Drain runs the engine until no tasks remain active.
-func (s *Sim) Drain() {
+// Drain runs the engine until no tasks remain active. It returns a
+// *StuckError when tasks can no longer progress (a permanently lost
+// leaf under RecoverHold), a *InternalError when an engine invariant
+// or — with Instrument and RecordSlices set — the schedule audit
+// fails, and nil on a clean drain.
+func (s *Sim) Drain() (err error) {
+	defer recoverInternal(&err)
 	for {
-		ev, ok := s.nextEvent()
-		if !ok {
+		ev, evOK := s.nextEvent()
+		if s.opts.Faults != nil {
+			if b, bOK := s.peekBoundary(); bOK && (!evOK || b.At < ev.at) {
+				s.advanceClock(b.At)
+				s.applyBoundary(b)
+				continue
+			}
+		}
+		if !evOK {
 			break
 		}
 		s.popEvent()
@@ -698,25 +833,206 @@ func (s *Sim) Drain() {
 		s.handleFinish(ev.node)
 	}
 	if s.activeTasks != 0 {
-		panic(fmt.Sprintf("sim: drained with %d active tasks; a task is stuck", s.activeTasks))
+		dumps, total := dumpActive(s)
+		return &StuckError{Now: s.now, Active: total, Tasks: dumps}
 	}
 	if s.opts.SelfCheck {
 		if err := s.CheckInvariants(); err != nil {
-			panic(err)
+			return err
 		}
 	}
+	// With full instrumentation on, every drained run audits its own
+	// recorded schedule, so test suites double as conformance tests.
+	if s.opts.Instrument && s.opts.RecordSlices && !s.ps {
+		if rep := s.Audit(); !rep.OK() {
+			return &AuditError{Report: rep}
+		}
+	}
+	return nil
 }
+
+// peekBoundary returns the next unapplied fault boundary.
+func (s *Sim) peekBoundary() (faults.Boundary, bool) {
+	bs := s.opts.Faults.Boundaries()
+	if s.faultIdx >= len(bs) {
+		return faults.Boundary{}, false
+	}
+	return bs[s.faultIdx], true
+}
+
+// applyDueBoundaries applies boundaries at or before the current time
+// (Inject's guard; AdvanceTo handles them during time travel).
+func (s *Sim) applyDueBoundaries() {
+	for {
+		b, ok := s.peekBoundary()
+		if !ok || b.At > s.now {
+			return
+		}
+		s.applyBoundary(b)
+	}
+}
+
+// applyBoundary installs node b.Node's new fault-scaled speed; the
+// clock must already stand at b.At. The node is synced under the old
+// speed first, then the finish event is reissued since its deadline
+// scales with the speed. A permanent leaf loss triggers the recovery
+// policy.
+func (s *Sim) applyBoundary(b faults.Boundary) {
+	s.faultIdx++
+	n := &s.nodes[b.Node]
+	s.sync(b.Node)
+	n.speed = n.baseSpeed * s.opts.Faults.FactorAt(b.Node, b.At)
+	if n.leaf && s.opts.Recovery == RecoverRedispatch {
+		if at, dead := s.opts.Faults.DeathTime(b.Node); dead && at == b.At {
+			s.redispatchLeaf(b.Node)
+		}
+	}
+	s.rescheduleForce(b.Node)
+}
+
+// redispatchLeaf re-dispatches every incomplete task assigned to the
+// lost leaf, in injection order, onto surviving leaves.
+func (s *Sim) redispatchLeaf(dead tree.NodeID) {
+	li := s.tree.LeafIndex(dead)
+	if len(s.assigned[li]) == 0 {
+		return
+	}
+	// Snapshot: migration mutates the assigned list. Sort by sequence
+	// so tasks migrate in injection order regardless of the list's
+	// swap-removal history.
+	batch := append([]*JobState(nil), s.assigned[li]...)
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	for _, js := range batch {
+		to := s.pickSurvivor(js)
+		if to == tree.None {
+			// No surviving leaf: the task stays held; Drain reports it.
+			continue
+		}
+		s.migrate(js, to)
+	}
+}
+
+// pickSurvivor chooses the surviving leaf with the least remaining
+// assigned leaf volume including the migrating task's own requirement
+// there — deterministic (first minimum in leaf order wins) and
+// load-aware in the spirit of the greedy rules.
+func (s *Sim) pickSurvivor(js *JobState) tree.NodeID {
+	best := tree.None
+	var bestCost float64
+	for i, leaf := range s.tree.Leaves() {
+		if at, dead := s.opts.Faults.DeathTime(leaf); dead && at <= s.now {
+			continue
+		}
+		var vol float64
+		for _, other := range s.assigned[i] {
+			if other.Hop == len(other.Path)-1 {
+				vol += other.Remaining
+			} else {
+				vol += other.LeafWork
+			}
+		}
+		cost := vol + js.workOnLeaf(i)
+		if best == tree.None || cost < bestCost {
+			best, bestCost = leaf, cost
+		}
+	}
+	return best
+}
+
+// workOnLeaf returns the task's leaf processing requirement were it
+// assigned to leaf index li.
+func (js *JobState) workOnLeaf(li int) float64 {
+	if js.leafSizes == nil {
+		return js.LeafWork // identical endpoints: the same everywhere
+	}
+	// FracWeight scales packet pieces (1 for whole jobs).
+	return js.leafSizes[li] * js.FracWeight
+}
+
+// migrate re-dispatches one task from its current position to leaf
+// `to`: it restarts at the root of the new leaf's path with full
+// remaining work there (partial work on the abandoned journey is
+// lost), and the move is recorded as a Migration.
+func (s *Sim) migrate(js *JobState, to tree.NodeID) {
+	cur := js.CurrentNode()
+	n := &s.nodes[cur]
+	s.sync(cur)
+	// The fractional-flow sum returns to a full remaining fraction
+	// once the task restarts.
+	frac := 1.0
+	if js.Hop == len(js.Path)-1 {
+		frac = js.Remaining / js.OrigOnCur
+	}
+	s.fracSum += js.FracWeight * (1 - frac)
+	n.avail.remove(js)
+	if n.running == js {
+		n.running = nil
+		n.finishSeq++
+		if n.leaf {
+			s.fracRate -= n.fracContrib
+			n.fracContrib = 0
+		}
+	}
+	if s.opts.Instrument {
+		for h := js.Hop; h < len(js.Path); h++ {
+			s.pendRemove(js.Path[h], js)
+		}
+	}
+	s.assignedRemove(s.tree.LeafIndex(js.Leaf), js)
+	s.mergeFloor = len(s.slices)
+	s.migrations = append(s.migrations, Migration{
+		Job: js.ID, Seq: js.seq, At: s.now, From: js.Leaf, To: to,
+		OldPath: js.Path, OldLeafWork: js.LeafWork,
+	})
+
+	li := s.tree.LeafIndex(to)
+	js.Leaf = to
+	if js.leafSizes != nil {
+		js.LeafWork = js.leafSizes[li] * js.FracWeight
+		js.PrioLeaf = js.leafSizes[li]
+	}
+	js.Path = s.tree.Path(to)
+	js.Hop = 0
+	js.OrigOnCur = s.sizeOn(js, 0)
+	js.PrioOnCur = s.prioOn(js, 0)
+	js.Remaining = js.OrigOnCur
+	js.NodeArrive = s.now
+	if s.opts.Instrument {
+		// Hop records restart for the new journey; the abandoned
+		// journey survives in the slice log and the Migration record.
+		js.HopArrive = growFloats(js.HopArrive, len(js.Path))
+		js.HopComplete = growFloats(js.HopComplete, len(js.Path))
+		js.HopArrive[0] = s.now
+		js.pendIdx = growInts(js.pendIdx, len(js.Path))
+		for i, v := range js.Path {
+			js.pendIdx[i] = len(s.pendingOn[v])
+			s.pendingOn[v] = append(s.pendingOn[v], js)
+		}
+	}
+	js.leafIdx = len(s.assigned[li])
+	s.assigned[li] = append(s.assigned[li], js)
+	s.setKey(js)
+	first := js.Path[0]
+	s.sync(first)
+	s.nodes[first].avail.push(js)
+	s.reschedule(first)
+	s.rescheduleForce(cur)
+}
+
+// Migrations returns the recovery re-dispatches recorded so far, in
+// time order. Live engine state: read-only for callers.
+func (s *Sim) Migrations() []Migration { return s.migrations }
 
 // handleFinish completes the running task on node v.
 func (s *Sim) handleFinish(v tree.NodeID) {
 	n := &s.nodes[v]
 	js := n.running
 	if js == nil {
-		panic("sim: finish event on idle node")
+		panic(s.internalErr("handleFinish", "finish event on idle node %d", v))
 	}
 	s.sync(v)
 	if s.opts.SelfCheck && js.Remaining > 1e-6 {
-		panic(fmt.Sprintf("sim: task %d finished on node %d with %v remaining", js.ID, v, js.Remaining))
+		panic(s.internalErr("handleFinish", "task %d finished on node %d with %v remaining", js.ID, v, js.Remaining))
 	}
 	js.Remaining = 0
 	s.eventCount++
@@ -854,7 +1170,7 @@ func (s *Sim) NodeUtilization(v tree.NodeID) (busy, work float64) {
 	// Report includes the running task's progress up to now.
 	n := &s.nodes[v]
 	busy, work = n.busyTime, n.workDone
-	if n.running != nil {
+	if n.running != nil && n.speed > 0 {
 		dt := s.now - n.lastSync
 		done := math.Min(dt*n.speed, n.running.Remaining)
 		busy += dt

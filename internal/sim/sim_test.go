@@ -430,7 +430,9 @@ func TestStatsMidRun(t *testing.T) {
 		t.Fatal("job completed too early")
 	}
 	approx(t, st.ActiveIntegral, 2, 1e-9, "mid-run active integral")
-	s.Drain()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	st = s.Stats()
 	if st.Completed != 1 {
 		t.Fatal("job did not complete")
@@ -515,7 +517,9 @@ func TestPendingOnTracksQv(t *testing.T) {
 	if len(q.PendingOn(path[1])) != 1 || len(q.PendingOn(path[2])) != 1 {
 		t.Fatal("job missing from downstream pending sets")
 	}
-	s.Drain()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	for _, v := range path {
 		if len(q.PendingOn(v)) != 0 {
 			t.Fatal("pending sets not empty after drain")

@@ -76,6 +76,9 @@ func TestEngineStress(t *testing.T) {
 			Instrument:   r.Bool(0.5),
 			UseScanQueue: r.Bool(0.3),
 			SelfCheck:    true,
+			// With Instrument set too, Drain audits the recorded
+			// schedule, so the stress run doubles as a conformance test.
+			RecordSlices: r.Bool(0.5),
 			Observer: func(s *Sim) {
 				nEvents++
 				if nEvents%checkEvery == 0 {

@@ -2,6 +2,7 @@ package treesched
 
 import (
 	"treesched/internal/core"
+	"treesched/internal/faults"
 	"treesched/internal/lowerbound"
 	"treesched/internal/rng"
 	"treesched/internal/scenario"
@@ -35,6 +36,9 @@ type (
 	// a name usable in scenario specs (see examples/heterogeneous).
 	TopoEntry = scenario.TopoEntry
 	Param     = scenario.Param
+	// ScenarioFaults is a scenario's fault-injection section (a
+	// registered plan spec or inline events, plus the recovery policy).
+	ScenarioFaults = scenario.FaultSpec
 )
 
 // NewSpec builds a Spec in place: NewSpec("fattree", 2, 2, 2).
@@ -197,6 +201,64 @@ func Run(t *Tree, tr *Trace, asg Assigner, opts Options) (*Result, error) {
 func RunPacketized(t *Tree, tr *Trace, asg Assigner, opts Options) (*Result, error) {
 	return sim.RunPacketized(t, tr, asg, opts)
 }
+
+// Fault injection: deterministic node outages, brown-outs and
+// permanent leaf loss, compiled into piecewise-constant speed
+// schedules the engine applies exactly (see Options.Faults/Recovery).
+type (
+	// FaultPlan is a reproducible list of fault events.
+	FaultPlan = faults.Plan
+	// FaultEvent is one fault on one node.
+	FaultEvent = faults.Event
+	// FaultKind names a fault class (Outage, Brownout, LeafLoss).
+	FaultKind = faults.Kind
+	// FaultSchedule is a compiled plan, shareable across engines.
+	FaultSchedule = faults.Schedule
+	// RecoveryPolicy selects what happens to work assigned to a
+	// permanently lost leaf.
+	RecoveryPolicy = sim.RecoveryPolicy
+	// Migration records one job re-dispatched off a dead leaf.
+	Migration = sim.Migration
+)
+
+// Fault kinds and recovery policies.
+const (
+	Outage   = faults.Outage
+	Brownout = faults.Brownout
+	LeafLoss = faults.LeafLoss
+
+	// RecoverHold stalls work assigned to a dead leaf (it counts
+	// toward flow time and Drain reports the stuck tasks).
+	RecoverHold = sim.RecoverHold
+	// RecoverRedispatch restarts such work on a surviving leaf.
+	RecoverRedispatch = sim.RecoverRedispatch
+)
+
+// CompileFaults validates a fault plan against a topology and compiles
+// it for Options.Faults.
+func CompileFaults(t *Tree, p *FaultPlan) (*FaultSchedule, error) {
+	return faults.Compile(t, p)
+}
+
+// Engine error types: Drain returns these instead of panicking.
+type (
+	// StuckError reports tasks that can never finish (e.g. held on a
+	// permanently lost leaf).
+	StuckError = sim.StuckError
+	// InternalError wraps an engine invariant violation with a dump of
+	// the affected tasks.
+	InternalError = sim.InternalError
+	// AuditError carries a failed schedule-conformance audit.
+	AuditError = sim.AuditError
+)
+
+// Schedule-conformance auditing: AuditReport is the result of
+// replaying a run's recorded slices against the store-and-forward
+// rules (see (*Sim).Audit).
+type (
+	AuditReport    = sim.AuditReport
+	AuditViolation = sim.Violation
+)
 
 // The paper's algorithms (package core).
 type (

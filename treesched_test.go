@@ -42,7 +42,9 @@ func TestFacadeUnrelatedAndShadow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh.Finish()
+	if err := sh.Finish(); err != nil {
+		t.Fatal(err)
+	}
 	rep := treesched.CheckLemma8(res, sh)
 	if rep.Jobs != 200 {
 		t.Fatalf("Lemma8 compared %d jobs", rep.Jobs)
@@ -154,5 +156,55 @@ func TestFacadeDualFit(t *testing.T) {
 	}
 	if rep.CertifiedOPTLowerBound <= 0 {
 		t.Fatal("no certificate")
+	}
+}
+
+func TestFacadeFaultsAndAudit(t *testing.T) {
+	tr := treesched.FatTree(2, 2, 2)
+	trace, err := treesched.PoissonTrace(5, 200, 0.8, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &treesched.FaultPlan{Events: []treesched.FaultEvent{
+		{Kind: treesched.Outage, Node: tr.Leaves()[0], Start: 5, End: 15},
+		{Kind: treesched.LeafLoss, Node: tr.Leaves()[1], Start: 20},
+	}}
+	sched, err := treesched.CompileFaults(tr, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := treesched.Run(tr, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{
+		Faults:       sched,
+		Recovery:     treesched.RecoverRedispatch,
+		Instrument:   true,
+		RecordSlices: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed != 200 {
+		t.Fatalf("completed %d/200 under redispatch", res.Stats.Completed)
+	}
+	if rep := res.Sim.Audit(); !rep.OK() {
+		t.Fatalf("faulty run failed audit: %s", rep.Summary())
+	}
+}
+
+func TestFacadeFaultyScenario(t *testing.T) {
+	sc, err := treesched.ParseScenario([]byte(
+		"topo=fattree:2,2,2 n=120 size=uniform:1,16 load=0.8 seed=9 " +
+			"faults=brownouts:3,10,0.25 recovery=hold instrument slices"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Faults == nil || sc.Faults.Plan.Name != "brownouts" {
+		t.Fatalf("compact form lost the fault section: %+v", sc.Faults)
+	}
+	res, err := treesched.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed != 120 {
+		t.Fatalf("completed %d/120 under brownouts", res.Stats.Completed)
 	}
 }
