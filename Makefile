@@ -26,12 +26,12 @@ bench:
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_2.json
+	$(GO) run ./cmd/bench -out BENCH_3.json
 
 # Rerun the kernels and fail (exit 3) if any regressed >25% vs the
 # checked-in record.
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_2.json
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_3.json
 
 # Short fuzz pass over every fuzz target (~10s each); corpus seeds
 # alone run on plain `go test`, this digs a little deeper.

@@ -5,18 +5,23 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_2.json] [-seed 1] [-scale 0.05] [-quick]
-//	      [-compare BENCH_2.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	bench [-out BENCH_3.json] [-seed 1] [-scale 0.05] [-quick]
+//	      [-compare BENCH_3.json] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -compare checks the fresh results against a previously written
 // baseline file and exits with status 3 if any kernel's ns/op
-// regressed by more than 25%.
+// regressed by more than 25%. Kernels present in only one of the two
+// files (new or retired) are noted and never fail the comparison.
 //
 // Kernels:
 //
 //	engine/cold        fresh engine per run (sim.Run)
 //	engine/warm        one engine recycled via Sim.Reset + RunOn
 //	engine/instrumented  warm engine with per-hop instrumentation on
+//	engine/wide-warm   sequential warm engine on the wide (fan-out 8)
+//	                   topology — the baseline the sharded rows divide by
+//	engine/sharded     subtree-sharded engine at Workers = GOMAXPROCS on
+//	                   the same wide workload (bit-identical schedule)
 //	scenario/run       declarative layer: scenario.Runner on the same
 //	                   workload as engine/warm (overhead shows as the
 //	                   delta between the two rows)
@@ -25,7 +30,9 @@
 //
 // Engine kernels also report events/sec, computed from the kernel's
 // deterministic event count, so throughput is comparable across
-// machines independently of the workload mix.
+// machines independently of the workload mix. The JSON additionally
+// carries a cores-vs-throughput scaling table: engine/sharded rerun at
+// every worker count from 1 to GOMAXPROCS.
 package main
 
 import (
@@ -49,6 +56,18 @@ type benchFile struct {
 	Seed       uint64      `json:"seed"`
 	Scale      float64     `json:"scale"`
 	Benchmarks []benchLine `json:"benchmarks"`
+	// Scaling is the cores-vs-throughput table for the sharded engine:
+	// the engine/sharded kernel rerun at each worker count from 1 to
+	// GOMAXPROCS on the wide topology. Speedup is relative to the
+	// workers=1 row of this table.
+	Scaling []scalingRow `json:"scaling,omitempty"`
+}
+
+type scalingRow struct {
+	Workers      int     `json:"workers"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"`
 }
 
 type benchLine struct {
@@ -69,7 +88,7 @@ type kernel struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "write JSON results to this file")
+	out := flag.String("out", "BENCH_3.json", "write JSON results to this file")
 	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
 	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
 	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
@@ -99,13 +118,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	kernels, err := buildKernels(*seed, *scale)
+	kernels, scaling, err := buildKernels(*seed, *scale)
 	if err != nil {
 		fatal(err)
 	}
 
 	doc := benchFile{
-		Schema:     "treesched-bench/2",
+		Schema:     "treesched-bench/3",
 		Go:         runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       *seed,
@@ -126,6 +145,11 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, line)
 		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10d allocs/op %12d B/op\n",
 			k.name, line.NsPerOp, line.AllocsPerOp, line.BytesPerOp)
+	}
+	doc.Scaling = scaling()
+	for _, row := range doc.Scaling {
+		fmt.Fprintf(os.Stderr, "engine/sharded workers=%-2d %12.0f ns/op %14.0f events/sec %6.2fx\n",
+			row.Workers, row.NsPerOp, row.EventsPerSec, row.Speedup)
 	}
 
 	if *memProfile != "" {
@@ -155,6 +179,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		for _, n := range oneSided(base, &doc) {
+			fmt.Fprintln(os.Stderr, "bench: note:", n)
+		}
 		regs := regressions(base, &doc, regressionThreshold)
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "bench: REGRESSION:", r)
@@ -182,9 +209,36 @@ func readBenchFile(path string) (*benchFile, error) {
 	return doc, nil
 }
 
+// oneSided describes kernels present in only one of the two files —
+// new kernels in current, retired ones in the baseline. They are
+// informational only and never fail a comparison, so a schema bump
+// (new engine/sharded kernels vs an old baseline) stays green.
+func oneSided(baseline, current *benchFile) []string {
+	base := make(map[string]bool, len(baseline.Benchmarks))
+	cur := make(map[string]bool, len(current.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = true
+	}
+	for _, c := range current.Benchmarks {
+		cur[c.Name] = true
+	}
+	var out []string
+	for _, c := range current.Benchmarks {
+		if !base[c.Name] {
+			out = append(out, fmt.Sprintf("kernel %s is new (absent from baseline); not compared", c.Name))
+		}
+	}
+	for _, b := range baseline.Benchmarks {
+		if !cur[b.Name] {
+			out = append(out, fmt.Sprintf("kernel %s exists only in the baseline; not compared", b.Name))
+		}
+	}
+	return out
+}
+
 // regressions compares current against baseline kernel by kernel and
 // describes every one whose ns/op grew by more than threshold.
-// Kernels absent from the baseline are new, not regressions.
+// Kernels present in only one file are skipped (see oneSided).
 func regressions(baseline, current *benchFile, threshold float64) []string {
 	base := make(map[string]benchLine, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
@@ -204,18 +258,20 @@ func regressions(baseline, current *benchFile, threshold float64) []string {
 	return out
 }
 
-// buildKernels constructs the kernel set. The engine workload is fixed
+// buildKernels constructs the kernel set plus the deferred sharded
+// scaling table (deferred so its timed runs happen after the named
+// kernels, matching the output order). The engine workload is fixed
 // (seed-derived) so one calibration run yields the event count every
 // timed iteration will reproduce.
-func buildKernels(seed uint64, scale float64) ([]kernel, error) {
+func buildKernels(seed uint64, scale float64) ([]kernel, func() []scalingRow, error) {
 	t := treesched.FatTree(2, 2, 2)
 	tr, err := treesched.PoissonTrace(seed+41, 2000, 0.95, t)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	calib, err := treesched.Run(t, tr, treesched.NewGreedyIdentical(0.5), treesched.Options{})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	events := calib.Stats.Events
 
@@ -280,11 +336,11 @@ func buildKernels(seed uint64, scale float64) ([]kernel, error) {
 	}
 	r, err := treesched.NewScenarioRunner(sc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	scCalib, err := r.Run()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ks = append(ks, kernel{
 		name:   "scenario/run",
@@ -303,7 +359,7 @@ func buildKernels(seed uint64, scale float64) ([]kernel, error) {
 	for _, id := range []string{"T1", "B3"} {
 		e, err := experiments.ByID(id)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ks = append(ks, kernel{
 			name: "experiments/" + id,
@@ -321,7 +377,61 @@ func buildKernels(seed uint64, scale float64) ([]kernel, error) {
 			},
 		})
 	}
-	return ks, nil
+
+	// The sharded-engine rows run on a wide topology (fan-out 8 at the
+	// root) because the speedup ceiling is the root-child count; the
+	// dispatch is round-robin, an oblivious assigner, so injection
+	// itself runs per shard. The schedule is bit-identical to the
+	// sequential wide-warm row at every worker count.
+	wide := treesched.FatTree(8, 1, 2)
+	wideTr, err := treesched.PoissonTrace(seed+43, 4000, 0.95, wide)
+	if err != nil {
+		return nil, nil, err
+	}
+	wideCalib, err := treesched.Run(wide, wideTr, &treesched.RoundRobin{}, treesched.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	wideEvents := wideCalib.Stats.Events
+	warmShardedFn := func(workers int) func(b *testing.B) {
+		opts := treesched.Options{Workers: workers}
+		return func(b *testing.B) {
+			s := treesched.NewSim(wide, opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset(opts)
+				if _, err := treesched.RunOn(s, wideTr, &treesched.RoundRobin{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	maxWorkers := runtime.GOMAXPROCS(0)
+	ks = append(ks,
+		kernel{name: "engine/wide-warm", events: wideEvents, fn: warmShardedFn(1)},
+		kernel{name: "engine/sharded", events: wideEvents, fn: warmShardedFn(maxWorkers)},
+	)
+
+	scaling := func() []scalingRow {
+		var rows []scalingRow
+		for w := 1; w <= maxWorkers; w *= 2 {
+			r := testing.Benchmark(warmShardedFn(w))
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			row := scalingRow{Workers: w, NsPerOp: ns, EventsPerSec: float64(wideEvents) * 1e9 / ns}
+			if len(rows) == 0 {
+				row.Speedup = 1
+			} else {
+				row.Speedup = rows[0].NsPerOp / ns
+			}
+			rows = append(rows, row)
+			if w < maxWorkers && w*2 > maxWorkers {
+				w = maxWorkers / 2 // make the last iteration land on maxWorkers
+			}
+		}
+		return rows
+	}
+	return ks, scaling, nil
 }
 
 func fatal(err error) {

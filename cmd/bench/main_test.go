@@ -68,3 +68,32 @@ func TestReadBenchFile(t *testing.T) {
 		t.Fatal("malformed file accepted")
 	}
 }
+
+func TestOneSidedKernels(t *testing.T) {
+	base := doc(
+		benchLine{Name: "engine/cold", NsPerOp: 1000},
+		benchLine{Name: "retired/kernel", NsPerOp: 500},
+	)
+	cur := doc(
+		benchLine{Name: "engine/cold", NsPerOp: 1000},
+		benchLine{Name: "engine/sharded", NsPerOp: 300},
+	)
+	notes := oneSided(base, cur)
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want one per one-sided kernel", notes)
+	}
+	if !strings.Contains(notes[0], "engine/sharded") || !strings.Contains(notes[0], "new") {
+		t.Fatalf("first note %q should flag engine/sharded as new", notes[0])
+	}
+	if !strings.Contains(notes[1], "retired/kernel") || !strings.Contains(notes[1], "baseline") {
+		t.Fatalf("second note %q should flag retired/kernel as baseline-only", notes[1])
+	}
+	// One-sided kernels never count as regressions, whatever their numbers.
+	if regs := regressions(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("one-sided kernels produced regressions: %v", regs)
+	}
+	// Identical files produce no notes.
+	if notes := oneSided(base, base); len(notes) != 0 {
+		t.Fatalf("identical files produced notes: %v", notes)
+	}
+}

@@ -6,7 +6,7 @@
 //	treesched -topo fattree:2,2,2 -n 2000 -load 0.9 -assigner greedy \
 //	          -policy sjf -speed 1.5 -eps 0.5 -seed 1 [-unrelated]
 //	          [-faults outages:4,50] [-recovery redispatch] [-audit]
-//	          [-render] [-gantt] [-trace jobs.json]
+//	          [-shards 0] [-render] [-gantt] [-trace jobs.json]
 //	treesched -scenario run.json            # or a compact one-liner file
 //	treesched -topo star:4 -n 500 -dump-scenario > run.json
 //
@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"treesched/internal/core"
 	"treesched/internal/lowerbound"
@@ -69,6 +70,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resultOut := fs.String("result", "", "write per-job results to this JSON file")
 	scenFile := fs.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
 	dump := fs.Bool("dump-scenario", false, "print the scenario as JSON and exit without running")
+	var shards int
+	const shardsHelp = "subtree-shard worker count: 0 = auto (GOMAXPROCS), 1 = sequential (results are identical either way)"
+	fs.IntVar(&shards, "shards", 1, shardsHelp)
+	fs.IntVar(&shards, "parallel", 1, shardsHelp+" (alias of -shards)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,6 +81,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "treesched:", err)
 		return 1
 	}
+	if shards < 0 {
+		return fail(fmt.Errorf("-shards: worker count %d is negative (0 = auto, 1 = sequential)", shards))
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	// Whether -shards/-parallel was given explicitly decides if it
+	// overrides a scenario file's engine.shards setting.
+	shardsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" || f.Name == "parallel" {
+			shardsSet = true
+		}
+	})
 
 	var sc *scenario.Scenario
 	if *scenFile != "" {
@@ -85,6 +104,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if sc, err = scenario.Load(data); err != nil {
 			return fail(err)
+		}
+		if shardsSet {
+			sc.Engine.Shards = shards
 		}
 	} else {
 		topoSpec, err := scenario.ParseSpec(*topo)
@@ -106,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Engine: scenario.Engine{
 				Packetized: *packetized,
 				Instrument: *gantt || *checkLemmas,
+				Shards:     shards,
 			},
 		}
 		if *unrelated {

@@ -125,3 +125,57 @@ func TestRunDumpScenarioIncludesFaults(t *testing.T) {
 		t.Fatalf("dump missing fault plan:\n%s", out)
 	}
 }
+
+func TestRunShardsFlag(t *testing.T) {
+	// The sharded engine is a pure speed knob: every worker count must
+	// print the exact same report, and 0 means auto (GOMAXPROCS).
+	base := []string{"-topo", "fattree:4,1,2", "-n", "80", "-seed", "5"}
+	code, want, errw := exec(t, base...)
+	if code != 0 {
+		t.Fatalf("baseline exit %d, stderr %q", code, errw)
+	}
+	for _, extra := range [][]string{
+		{"-shards", "0"},
+		{"-shards", "4"},
+		{"-parallel", "3"},
+	} {
+		code, out, errw := exec(t, append(append([]string{}, base...), extra...)...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d, stderr %q", extra, code, errw)
+		}
+		if out != want {
+			t.Fatalf("%v: report diverges from sequential run:\n%s", extra, out)
+		}
+	}
+}
+
+func TestRunShardsRejectsNegative(t *testing.T) {
+	code, _, errw := exec(t, "-topo", "star:4", "-n", "20", "-shards", "-2")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errw)
+	}
+	if !strings.Contains(errw, "-shards") || !strings.Contains(errw, "negative") {
+		t.Fatalf("stderr %q does not explain the bad worker count", errw)
+	}
+	if code, _, _ := exec(t, "-topo", "star:4", "-n", "20", "-shards", "two"); code != 2 {
+		t.Fatalf("non-numeric -shards: exit %d, want 2", code)
+	}
+}
+
+func TestRunShardsOverridesScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.txt")
+	if err := os.WriteFile(path, []byte("topo=star:4 n=40 size=uniform:1,8 load=0.8 seed=9 shards=2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, want, errw := exec(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	code, out, errw := exec(t, "-scenario", path, "-shards", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if out != want {
+		t.Fatalf("-shards override changed the report:\n%s", out)
+	}
+}

@@ -119,6 +119,7 @@ type Schedule struct {
 	deathAt    []float64 // per node; +Inf when never lost
 	numNodes   int
 	events     int
+	hasDeaths  bool
 }
 
 // Compile validates the plan and builds its schedule. Overlapping
@@ -155,6 +156,20 @@ func Compile(t *tree.Tree, p *Plan) (*Schedule, error) {
 			s.boundaries = append(s.boundaries, Boundary{At: 0, Node: v})
 		}
 	}
+	// A permanent loss must always surface as a boundary: when an
+	// overlapping outage already holds the factor at zero across the
+	// death instant, segment deduplication produces no factor change
+	// there, yet the engine's recovery policy triggers on the boundary.
+	for v := range s.deathAt {
+		at := s.deathAt[v]
+		if math.IsInf(at, 1) {
+			continue
+		}
+		s.hasDeaths = true
+		if !s.hasBoundaryAt(tree.NodeID(v), at) {
+			s.boundaries = append(s.boundaries, Boundary{At: at, Node: tree.NodeID(v)})
+		}
+	}
 	sort.Slice(s.boundaries, func(i, j int) bool {
 		a, b := s.boundaries[i], s.boundaries[j]
 		if a.At != b.At {
@@ -163,6 +178,17 @@ func Compile(t *tree.Tree, p *Plan) (*Schedule, error) {
 		return a.Node < b.Node
 	})
 	return s, nil
+}
+
+// hasBoundaryAt reports whether a boundary for (v, at) was already
+// emitted (called before the boundary list is sorted).
+func (s *Schedule) hasBoundaryAt(v tree.NodeID, at float64) bool {
+	for _, b := range s.boundaries {
+		if b.Node == v && b.At == at {
+			return true
+		}
+	}
+	return false
 }
 
 // compileNode sweeps one node's events into minimal segments. O(E^2)
@@ -248,8 +274,21 @@ func (s *Schedule) Integral(v tree.NodeID, from, to float64) float64 {
 	if segs == nil {
 		return to - from
 	}
+	// Start at the last segment beginning at or before `from` and stop
+	// once segments begin at or past `to`: segments outside the window
+	// contribute nothing, so skipping them leaves the sum bit-identical
+	// while making repeated audits of long schedules O(log n + overlap)
+	// instead of O(n) per query.
 	var sum float64
-	for i, seg := range segs {
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].Start > from }) - 1
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(segs); i++ {
+		seg := segs[i]
+		if seg.Start >= to {
+			break
+		}
 		end := math.Inf(1)
 		if i+1 < len(segs) {
 			end = segs[i+1].Start
@@ -261,6 +300,11 @@ func (s *Schedule) Integral(v tree.NodeID, from, to float64) float64 {
 	}
 	return sum
 }
+
+// HasDeaths reports whether any node is ever permanently lost. The
+// engine's sharded mode uses this to decide whether cross-subtree
+// recovery re-dispatch is possible.
+func (s *Schedule) HasDeaths() bool { return s.hasDeaths }
 
 // DeathTime returns when node v is permanently lost, and whether it
 // ever is.

@@ -161,3 +161,95 @@ func TestEventJSONRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// A leaf death masked inside an outage must still emit a boundary at
+// the death instant: the speed factor does not change (it is already
+// 0), but the engine's recovery policies trigger on the boundary.
+func TestDeathBoundaryInsideOutage(t *testing.T) {
+	tr := tree.Star(2)
+	leaf := tr.Leaves()[0]
+	s, err := Compile(tr, &Plan{Events: []Event{
+		{Kind: Outage, Node: leaf, Start: 2, End: 10},
+		{Kind: LeafLoss, Node: leaf, Start: 5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range s.Boundaries() {
+		if b.Node == leaf && b.At == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("boundaries %v lack the death instant t=5", s.Boundaries())
+	}
+	if !s.HasDeaths() {
+		t.Fatal("HasDeaths = false with a leaf loss compiled")
+	}
+	// An unmasked death keeps exactly one boundary at the instant (no
+	// duplicate from the factor change + the death emission).
+	s2, err := Compile(tr, &Plan{Events: []Event{{Kind: LeafLoss, Node: leaf, Start: 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, b := range s2.Boundaries() {
+		if b.Node == leaf && b.At == 5 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("want exactly one death boundary, got %d in %v", count, s2.Boundaries())
+	}
+}
+
+func TestHasDeathsFalseWithoutLoss(t *testing.T) {
+	tr := tree.Star(2)
+	s, err := Compile(tr, &Plan{Events: []Event{
+		{Kind: Outage, Node: tr.Leaves()[0], Start: 2, End: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasDeaths() {
+		t.Fatal("HasDeaths = true without any leaf loss")
+	}
+}
+
+// Integral's binary-search fast path must agree with a linear
+// reference over many windows of a many-segment schedule.
+func TestIntegralMatchesLinearReference(t *testing.T) {
+	tr := tree.Star(2)
+	leaf := tr.Leaves()[0]
+	var evs []Event
+	for i := 0; i < 50; i++ {
+		at := float64(i) * 3
+		evs = append(evs, Event{Kind: Brownout, Node: leaf, Start: at, End: at + 2, Factor: 0.5})
+	}
+	s, err := Compile(tr, &Plan{Events: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := s.Segments(leaf)
+	ref := func(from, to float64) float64 {
+		var sum float64
+		for i, sg := range segs {
+			end := math.Inf(1)
+			if i+1 < len(segs) {
+				end = segs[i+1].Start
+			}
+			lo, hi := math.Max(from, sg.Start), math.Min(to, end)
+			if hi > lo {
+				sum += sg.Factor * (hi - lo)
+			}
+		}
+		return sum
+	}
+	for _, w := range [][2]float64{{0, 1}, {0, 150}, {7, 11}, {100, 100}, {149, 200}, {2.5, 2.5}, {60.5, 61.5}} {
+		got, want := s.Integral(leaf, w[0], w[1]), ref(w[0], w[1])
+		if got != want {
+			t.Fatalf("Integral(%v,%v) = %v, want %v (bitwise)", w[0], w[1], got, want)
+		}
+	}
+}

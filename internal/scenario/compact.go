@@ -19,7 +19,7 @@ import (
 //
 // Keys: name topo process n size class load cap related unrelated
 // round maxweight policy assigner eps seed aseed speed speeds horizon
-// faults recovery and the flags packetized instrument scanqueue
+// faults recovery shards and the flags packetized instrument scanqueue
 // slices. Inline fault events, like inline jobs, are JSON-only.
 
 // Compact renders the scenario as its one-line form. Scenarios that
@@ -109,6 +109,9 @@ func (sc *Scenario) Compact() (string, error) {
 		if fs.Recovery != "" {
 			add("recovery", fs.Recovery)
 		}
+	}
+	if sc.Engine.Shards != 0 {
+		add("shards", strconv.Itoa(sc.Engine.Shards))
 	}
 	if sc.Engine.Packetized {
 		tok = append(tok, "packetized")
@@ -237,6 +240,8 @@ func (sc *Scenario) setCompact(key, val string) error {
 		sc.Speed.RootAdjacent, sc.Speed.Router, sc.Speed.Leaf = vals[0], vals[1], vals[2]
 	case "horizon":
 		sc.Horizon, err = strconv.Atoi(val)
+	case "shards":
+		sc.Engine.Shards, err = strconv.Atoi(val)
 	case "faults":
 		var sp Spec
 		sp, err = ParseSpec(val)

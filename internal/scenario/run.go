@@ -85,6 +85,7 @@ func (sc *Scenario) Build() (*Instance, error) {
 			Instrument:   sc.Engine.Instrument,
 			UseScanQueue: sc.Engine.ScanQueue,
 			RecordSlices: sc.Engine.RecordSlices,
+			Workers:      sc.Engine.Shards,
 		},
 	}
 	if sc.Faults != nil {

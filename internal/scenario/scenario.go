@@ -185,6 +185,10 @@ type Engine struct {
 	ScanQueue bool `json:"scan_queue,omitempty"`
 	// RecordSlices records the execution slices (Gantt input).
 	RecordSlices bool `json:"record_slices,omitempty"`
+	// Shards sets sim.Options.Workers: the worker count for the
+	// subtree-sharded engine (0 or 1 = sequential). Results are
+	// bit-identical either way; this is purely a speed knob.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Scenario is one complete, serializable simulation setup: every

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"treesched/internal/faults"
 	"treesched/internal/tree"
 )
 
@@ -98,7 +99,33 @@ func (s *Sim) Audit() *AuditReport {
 	if !s.opts.RecordSlices || s.ps {
 		panic("sim: Audit requires Options.RecordSlices and a non-PS policy")
 	}
-	return s.AuditSlices(s.slices)
+	return s.AuditSlices(s.Slices())
+}
+
+// AuditShard verifies shard k's slice log against the tasks assigned
+// into shard k only — the per-shard view that needs no cross-shard
+// state, mirroring the engine's root decomposition. It requires
+// Options.RecordSlices, a non-PS policy, and a migration-free run: a
+// recovery migration moves work between shards, so only the whole-run
+// audit is defined then.
+func (s *Sim) AuditShard(k int) *AuditReport {
+	if !s.opts.RecordSlices || s.ps {
+		panic("sim: AuditShard requires Options.RecordSlices and a non-PS policy")
+	}
+	if len(s.migrations) > 0 {
+		panic("sim: AuditShard is undefined across recovery migrations; audit the full run")
+	}
+	slices := s.shards[k].slices
+	var tasks []*JobState
+	for _, js := range s.tasks {
+		if js != nil && int(s.shardOf[js.Leaf]) == k {
+			tasks = append(tasks, js)
+		}
+	}
+	rep := &AuditReport{Slices: len(slices), Tasks: len(tasks)}
+	credits := s.auditPerNode(slices, rep)
+	s.auditPerTask(slices, credits, tasks, rep)
+	return rep
 }
 
 // AuditSlices verifies an arbitrary slice log against this engine's
@@ -106,16 +133,23 @@ func (s *Sim) Audit() *AuditReport {
 // not be the engine's own (tests feed deliberately corrupted copies).
 func (s *Sim) AuditSlices(slices []Slice) *AuditReport {
 	rep := &AuditReport{Slices: len(slices), Tasks: len(s.tasks)}
-	s.auditPerNode(slices, rep)
-	s.auditPerTask(slices, rep)
+	credits := s.auditPerNode(slices, rep)
+	s.auditPerTask(slices, credits, s.tasks, rep)
 	return rep
 }
 
 // auditPerNode checks slice well-formedness and the ≤1-task-per-node
-// exclusivity constraint.
-func (s *Sim) auditPerNode(slices []Slice, rep *AuditReport) {
-	perNode := make([][]Slice, s.tree.NumNodes())
-	for _, sl := range slices {
+// exclusivity constraint, and — because each node's slices are sorted
+// by start time here anyway — computes every slice's work credit
+// (base speed × fault-factor integral) in the same pass with a
+// monotone cursor into the node's fault segments. This replaces the
+// per-slice rescan of the full segment list the per-task audit used
+// to do, which was quadratic on long faulty traces. The returned
+// credits are indexed by the slice's position in `slices`.
+func (s *Sim) auditPerNode(slices []Slice, rep *AuditReport) []float64 {
+	credits := make([]float64, len(slices))
+	perNode := make([][]int32, s.tree.NumNodes())
+	for i, sl := range slices {
 		if int(sl.Node) <= 0 || int(sl.Node) >= s.tree.NumNodes() {
 			rep.add(Violation{Rule: "malformed", Node: sl.Node, Job: sl.Job, Seq: sl.Seq, At: sl.From,
 				Detail: fmt.Sprintf("slice on unknown node %d", sl.Node)})
@@ -126,25 +160,67 @@ func (s *Sim) auditPerNode(slices []Slice, rep *AuditReport) {
 				Detail: fmt.Sprintf("empty or reversed slice [%.6g,%.6g]", sl.From, sl.To)})
 			continue
 		}
-		perNode[sl.Node] = append(perNode[sl.Node], sl)
+		perNode[sl.Node] = append(perNode[sl.Node], int32(i))
 	}
+	fs := s.opts.Faults
 	for v := range perNode {
 		lst := perNode[v]
+		if len(lst) == 0 {
+			continue
+		}
 		sort.Slice(lst, func(i, j int) bool {
-			if lst[i].From != lst[j].From {
-				return lst[i].From < lst[j].From
+			a, b := slices[lst[i]], slices[lst[j]]
+			if a.From != b.From {
+				return a.From < b.From
 			}
-			return lst[i].To < lst[j].To
+			return a.To < b.To
 		})
-		for i := 1; i < len(lst); i++ {
-			prev, cur := lst[i-1], lst[i]
-			if cur.From < prev.To-auditTol(prev.To) {
-				rep.add(Violation{Rule: "overlap", Node: cur.Node, Job: cur.Job, Seq: cur.Seq, At: cur.From,
-					Detail: fmt.Sprintf("tasks %d and %d overlap on node %d: [%.6g,%.6g] vs [%.6g,%.6g]",
-						prev.Seq, cur.Seq, cur.Node, prev.From, prev.To, cur.From, cur.To)})
+		base := s.nodes[v].baseSpeed
+		var segs []faults.Segment
+		if fs != nil {
+			segs = fs.Segments(tree.NodeID(v))
+		}
+		seg := 0
+		for i, idx := range lst {
+			cur := slices[idx]
+			if i > 0 {
+				prev := slices[lst[i-1]]
+				if cur.From < prev.To-auditTol(prev.To) {
+					rep.add(Violation{Rule: "overlap", Node: cur.Node, Job: cur.Job, Seq: cur.Seq, At: cur.From,
+						Detail: fmt.Sprintf("tasks %d and %d overlap on node %d: [%.6g,%.6g] vs [%.6g,%.6g]",
+							prev.Seq, cur.Seq, cur.Node, prev.From, prev.To, cur.From, cur.To)})
+				}
 			}
+			if segs == nil {
+				credits[idx] = base * (cur.To - cur.From)
+				continue
+			}
+			// Slices are sorted by From, so the last segment starting at
+			// or before From only moves forward; the summation below is
+			// operation-for-operation the one faults.Integral performs,
+			// keeping audited credits bit-identical to the rescan.
+			for seg+1 < len(segs) && segs[seg+1].Start <= cur.From {
+				seg++
+			}
+			var sum float64
+			for j := seg; j < len(segs); j++ {
+				sg := segs[j]
+				if sg.Start >= cur.To {
+					break
+				}
+				end := math.Inf(1)
+				if j+1 < len(segs) {
+					end = segs[j+1].Start
+				}
+				lo, hi := math.Max(cur.From, sg.Start), math.Min(cur.To, end)
+				if hi > lo {
+					sum += sg.Factor * (hi - lo)
+				}
+			}
+			credits[idx] = base * sum
 		}
 	}
+	return credits
 }
 
 // journey is one leg of a task's life: the path it followed and its
@@ -156,18 +232,21 @@ type journey struct {
 	endsAt   float64
 }
 
-func (s *Sim) auditPerTask(slices []Slice, rep *AuditReport) {
-	taskBySeq := make(map[int64]*JobState, len(s.tasks))
-	for _, js := range s.tasks {
+func (s *Sim) auditPerTask(slices []Slice, credits []float64, tasks []*JobState, rep *AuditReport) {
+	taskBySeq := make(map[int64]*JobState, len(tasks))
+	for _, js := range tasks {
+		if js == nil {
+			continue
+		}
 		taskBySeq[js.seq] = js
 	}
 	migsBySeq := make(map[int64][]Migration)
 	for _, m := range s.migrations {
 		migsBySeq[m.Seq] = append(migsBySeq[m.Seq], m)
 	}
-	bySeq := make(map[int64][]Slice)
+	bySeq := make(map[int64][]int32)
 	unknown := make(map[int64]bool)
-	for _, sl := range slices {
+	for i, sl := range slices {
 		if _, ok := taskBySeq[sl.Seq]; !ok {
 			if !unknown[sl.Seq] {
 				unknown[sl.Seq] = true
@@ -176,31 +255,27 @@ func (s *Sim) auditPerTask(slices []Slice, rep *AuditReport) {
 			}
 			continue
 		}
-		bySeq[sl.Seq] = append(bySeq[sl.Seq], sl)
+		bySeq[sl.Seq] = append(bySeq[sl.Seq], int32(i))
 	}
 	// Iterate tasks in injection order for a deterministic report.
-	for _, js := range s.tasks {
-		s.auditTask(js, bySeq[js.seq], migsBySeq[js.seq], rep)
-	}
-}
-
-// credit is the work a slice delivers to its task: base speed times
-// the fault-factor integral over the window (plain duration when no
-// fault schedule is configured).
-func (s *Sim) credit(v tree.NodeID, from, to float64) float64 {
-	base := s.nodes[v].baseSpeed
-	if fs := s.opts.Faults; fs != nil {
-		return base * fs.Integral(v, from, to)
-	}
-	return base * (to - from)
-}
-
-func (s *Sim) auditTask(js *JobState, slices []Slice, migs []Migration, rep *AuditReport) {
-	sort.Slice(slices, func(i, j int) bool {
-		if slices[i].From != slices[j].From {
-			return slices[i].From < slices[j].From
+	for _, js := range tasks {
+		if js == nil {
+			continue
 		}
-		return slices[i].Node < slices[j].Node
+		s.auditTask(js, slices, bySeq[js.seq], credits, migsBySeq[js.seq], rep)
+	}
+}
+
+// auditTask replays one task's slices (given as indices into the full
+// log) against its journeys; work credits were precomputed by
+// auditPerNode.
+func (s *Sim) auditTask(js *JobState, all []Slice, idxs []int32, taskCredits []float64, migs []Migration, rep *AuditReport) {
+	sort.Slice(idxs, func(i, j int) bool {
+		a, b := all[idxs[i]], all[idxs[j]]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Node < b.Node
 	})
 	// Migrations arrive in time order; each one closes a journey whose
 	// path and leaf requirement it recorded.
@@ -219,7 +294,8 @@ func (s *Sim) auditTask(js *JobState, slices []Slice, migs []Migration, rep *Aud
 	jIdx, hop := 0, 0
 	credited := make([]float64, len(journeys[0].path))
 	lastTo := js.Release
-	for _, sl := range slices {
+	for _, idx := range idxs {
+		sl := all[idx]
 		if !(sl.To > sl.From) {
 			continue // already reported as malformed
 		}
@@ -275,7 +351,7 @@ func (s *Sim) auditTask(js *JobState, slices []Slice, migs []Migration, rep *Aud
 			}
 			hop = h
 		}
-		credited[hop] += s.credit(sl.Node, sl.From, sl.To)
+		credited[hop] += taskCredits[idx]
 		if want := sizeOn(j, hop); credited[hop] > want+auditTol(want) {
 			rep.add(Violation{Rule: "speed-budget", Node: sl.Node, Job: js.ID, Seq: js.seq, At: sl.To,
 				Detail: fmt.Sprintf("node %d credited %.6g of a %.6g requirement (exceeds the node's speed budget)",

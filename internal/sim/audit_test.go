@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 
+	"treesched/internal/faults"
+	"treesched/internal/rng"
 	"treesched/internal/tree"
 	"treesched/internal/workload"
 )
@@ -171,5 +173,44 @@ func TestAuditErrorFormatting(t *testing.T) {
 	}
 	if msg := err.Error(); msg == "" || !hasRule(ae.Report, "speed-budget") {
 		t.Fatalf("AuditError message %q lost the violation", msg)
+	}
+}
+
+// BenchmarkAuditFaultyTrace guards the auditor's single-pass credit
+// precompute: a long trace on a node with many fault segments used to
+// rescan the whole segment list per slice (quadratic); the sorted
+// per-node pass keeps this linear in slices + segments.
+func BenchmarkAuditFaultyTrace(b *testing.B) {
+	tr := tree.FatTree(4, 1, 2)
+	leaves := tr.Leaves()
+	var evs []faults.Event
+	for i := 0; i < 400; i++ {
+		at := float64(i) * 50
+		evs = append(evs, faults.Event{
+			Kind: faults.Brownout, Node: leaves[i%len(leaves)],
+			Start: at, End: at + 25, Factor: 0.5,
+		})
+	}
+	fs, err := faults.Compile(tr, &faults.Plan{Events: evs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace, err := workload.Poisson(rng.New(1), workload.GenConfig{
+		N: 2000, Size: workload.UniformSize{Lo: 1, Hi: 16}, Load: 0.8, Capacity: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Run(tr, trace, &oblRR{}, Options{RecordSlices: true, Faults: fs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := res.Sim
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Audit(); !rep.OK() {
+			b.Fatalf("audit failed: %s", rep.Summary())
+		}
 	}
 }

@@ -40,7 +40,7 @@ func dumpTask(js *JobState) TaskDump {
 
 func dumpActive(s *Sim) (dumps []TaskDump, total int) {
 	for _, js := range s.tasks {
-		if js.Completed {
+		if js == nil || js.Completed {
 			continue
 		}
 		total++
@@ -101,7 +101,12 @@ func (e *InternalError) Error() string {
 }
 
 // internalErr builds an InternalError with the active-task snapshot.
+// During a parallel section the snapshot is skipped: walking the task
+// list would race with the other shard workers.
 func (s *Sim) internalErr(op, format string, args ...interface{}) *InternalError {
+	if s.par {
+		return &InternalError{Op: op, Now: s.now, Msg: fmt.Sprintf(format, args...)}
+	}
 	dumps, total := dumpActive(s)
 	return &InternalError{Op: op, Now: s.now, Msg: fmt.Sprintf(format, args...), Tasks: dumps, ActiveTotal: total}
 }

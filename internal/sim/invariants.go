@@ -21,6 +21,9 @@ func (s *Sim) CheckInvariants() error {
 	var fracSum float64
 	onNode := make(map[*JobState]tree.NodeID)
 	for _, js := range s.tasks {
+		if js == nil {
+			continue // slot of a run aborted mid-parallel-injection
+		}
 		if js.Completed {
 			if js.Remaining > 1e-6 {
 				return fmt.Errorf("sim: completed task %d has remaining %v", js.ID, js.Remaining)
@@ -61,11 +64,17 @@ func (s *Sim) CheckInvariants() error {
 			}
 		}
 	}
-	if active != s.activeTasks {
-		return fmt.Errorf("sim: activeTasks=%d but %d incomplete tasks exist", s.activeTasks, active)
+	trackedActive := 0
+	var trackedFrac float64
+	for k := range s.shards {
+		trackedActive += s.shards[k].activeTasks
+		trackedFrac += s.shards[k].fracSum
 	}
-	if math.Abs(fracSum-s.fracSum) > 1e-6*math.Max(1, fracSum)+1e-6 {
-		return fmt.Errorf("sim: fracSum drifted: tracked %v, recomputed %v", s.fracSum, fracSum)
+	if active != trackedActive {
+		return fmt.Errorf("sim: activeTasks=%d but %d incomplete tasks exist", trackedActive, active)
+	}
+	if math.Abs(fracSum-trackedFrac) > 1e-6*math.Max(1, fracSum)+1e-6 {
+		return fmt.Errorf("sim: fracSum drifted: tracked %v, recomputed %v", trackedFrac, fracSum)
 	}
 	// Queue membership: every avail task sits on that node; the
 	// running task is the queue minimum (except under processor

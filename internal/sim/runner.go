@@ -92,11 +92,37 @@ func RunOn(s *Sim, trace *workload.Trace, asg Assigner) (*Result, error) {
 // per-job metrics (which necessarily allocate a Result). On a warmed
 // engine this is the zero-allocation path measurement loops use; the
 // engine is left drained, so Stats()/Tasks() remain readable.
+//
+// With Options.Workers > 1 (and more than one root-child subtree) the
+// shard event loops run on a worker pool: an ObliviousAssigner lets
+// injection itself run per shard after a sequential dispatch prepass,
+// while a querying assigner dispatches sequentially (it must observe
+// engine state at each arrival, exactly as in a sequential run) and
+// only the drain is parallel. Either way the results are bit-identical
+// to the sequential engine's.
 func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) (err error) {
 	defer recoverInternal(&err)
 	if err := trace.Validate(); err != nil {
 		return err
 	}
+	if w := s.workerCount(); w > 1 {
+		if _, oblivious := asg.(ObliviousAssigner); oblivious {
+			return s.replayParallel(trace, asg, w)
+		}
+		if err := s.injectTrace(trace, asg); err != nil {
+			return err
+		}
+		return s.drainParallel(w)
+	}
+	if err := s.injectTrace(trace, asg); err != nil {
+		return err
+	}
+	return s.Drain()
+}
+
+// injectTrace is the sequential dispatch loop shared by the
+// sequential and the parallel-drain replay paths.
+func (s *Sim) injectTrace(trace *workload.Trace, asg Assigner) error {
 	t := s.tree
 	// Passing a loop-local Arrival through the Assigner interface makes
 	// it escape; the engine-owned scratch keeps the warm path at zero
@@ -115,7 +141,7 @@ func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) (err error) {
 			return fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
 		}
 	}
-	return s.Drain()
+	return nil
 }
 
 func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
@@ -140,7 +166,8 @@ func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
 		}
 		m.PathWork += js.RouterSize*float64(len(js.Path)-1) + js.LeafWork
 	}
-	st := Stats{FracFlow: s.fracIntegral, ActiveIntegral: s.activeIntegral, Events: s.eventCount}
+	var st Stats
+	st.FracFlow, st.ActiveIntegral, st.Events = s.totals()
 	for i := range res.Jobs {
 		if !found[i] {
 			return nil, fmt.Errorf("sim: job %d never completed", i)
@@ -189,7 +216,7 @@ func RunPacketized(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Optio
 		routerPiece := j.Size / float64(k)
 		leafPiece := a.LeafSize(li) / float64(k)
 		for p := 0; p < k; p++ {
-			js := s.newTask()
+			js := s.newTask(&s.shards[s.shardOf[leaf]])
 			js.ID = j.ID
 			js.seq = s.nextSeq
 			js.Release = j.Release

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"treesched/internal/faults"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// shardState is the event machinery of one root-child subtree. The
+// root performs no processing and every task's path lies inside one
+// subtree (tree.Path starts at the root-adjacent ancestor), so after
+// dispatch the shards share no mutable state: each owns its clock,
+// event heap, fault-boundary cursor, flow-time accumulators, slice
+// log and task arena. Both execution modes step the identical
+// per-shard machines; only the stepping order differs, and every
+// quantity the engine reports is either per-task or merged across
+// shards in shard-index order — which is what makes parallel output
+// bit-identical to sequential output.
+type shardState struct {
+	now float64
+	// events is a min-heap of scheduled node-finish events with lazy
+	// invalidation via nodeState.finishSeq.
+	events []finishEvent
+	// bounds is the shard's slice of the compiled fault boundaries
+	// (sorted by time, node); faultIdx is the applied-prefix cursor.
+	bounds   []faults.Boundary
+	faultIdx int
+
+	activeTasks int
+	// Running totals (see Sim.Stats; summed across shards in index
+	// order when reported).
+	fracSum        float64 // Σ weight * remainingLeafFraction over active tasks
+	fracRate       float64 // d(fracSum)/dt from leaves currently processing
+	fracIntegral   float64
+	activeIntegral float64 // ∫ activeTasks dt (integral-flow cross-check)
+	eventCount     int64
+
+	// slices holds the shard's exact processing record when
+	// RecordSlices; entries below mergeFloor predate the latest
+	// migration and must not be extended by sync's merge.
+	slices     []Slice
+	mergeFloor int
+
+	// free holds JobStates recycled by Reset; block is the tail of the
+	// current arena chunk fresh tasks are carved from. Per shard so
+	// parallel injection never contends.
+	free  []*JobState
+	block []JobState
+
+	// err and panicVal collect a worker's failure for deterministic
+	// (shard-index-ordered) propagation after the join.
+	err      error
+	panicVal interface{}
+}
+
+// peekBoundary returns the shard's next unapplied fault boundary.
+func (sh *shardState) peekBoundary() (faults.Boundary, bool) {
+	if sh.faultIdx >= len(sh.bounds) {
+		return faults.Boundary{}, false
+	}
+	return sh.bounds[sh.faultIdx], true
+}
+
+// --- per-shard event heap (min by time, then node for determinism) ---
+
+func (sh *shardState) eventLess(i, j int) bool {
+	if sh.events[i].at != sh.events[j].at {
+		return sh.events[i].at < sh.events[j].at
+	}
+	return sh.events[i].node < sh.events[j].node
+}
+
+func (sh *shardState) pushEvent(ev finishEvent) {
+	sh.events = append(sh.events, ev)
+	sh.upEvent(len(sh.events) - 1)
+}
+
+func (sh *shardState) upEvent(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !sh.eventLess(i, p) {
+			break
+		}
+		sh.events[i], sh.events[p] = sh.events[p], sh.events[i]
+		i = p
+	}
+}
+
+func (sh *shardState) downEvent(i int) {
+	n := len(sh.events)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && sh.eventLess(r, l) {
+			small = r
+		}
+		if !sh.eventLess(small, i) {
+			break
+		}
+		sh.events[i], sh.events[small] = sh.events[small], sh.events[i]
+		i = small
+	}
+}
+
+func (sh *shardState) popEvent() finishEvent {
+	top := sh.events[0]
+	n := len(sh.events) - 1
+	sh.events[0] = sh.events[n]
+	sh.events = sh.events[:n]
+	if n > 0 {
+		sh.downEvent(0)
+	}
+	return top
+}
+
+// --- parallel execution ---
+
+// workerCount resolves Options.Workers against the shard count and
+// the configuration's eligibility: 1 means sequential.
+func (s *Sim) workerCount() int {
+	w := s.opts.Workers
+	if w <= 1 {
+		return 1
+	}
+	if w > len(s.shards) {
+		w = len(s.shards)
+	}
+	if w > 1 && !s.parallelOK() {
+		return 1
+	}
+	return w
+}
+
+// runShardsParallel executes run(k) for every shard on up to `workers`
+// goroutines (the caller participates; extra workers try-acquire
+// Options.WorkerTokens when set and are skipped if the pool is
+// exhausted). Worker panics are captured per shard and re-raised on
+// the calling goroutine for the lowest panicking shard index, so
+// failure propagation is deterministic and *InternalError panics reach
+// the usual recoverInternal conversion.
+func (s *Sim) runShardsParallel(workers int, run func(k int)) {
+	s.par = true
+	defer func() { s.par = false }()
+	for k := range s.shards {
+		s.shards[k].err = nil
+		s.shards[k].panicVal = nil
+	}
+	var next int64
+	work := func() {
+		for {
+			k := int(atomic.AddInt64(&next, 1)) - 1
+			if k >= len(s.shards) {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						s.shards[k].panicVal = r
+					}
+				}()
+				run(k)
+			}()
+		}
+	}
+	tok := s.opts.WorkerTokens
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		if tok != nil {
+			acquired := false
+			select {
+			case tok <- struct{}{}:
+				acquired = true
+			default:
+			}
+			if !acquired {
+				break // shared pool exhausted: run with the helpers we got
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if tok != nil {
+				defer func() { <-tok }()
+			}
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	for k := range s.shards {
+		if r := s.shards[k].panicVal; r != nil {
+			s.shards[k].panicVal = nil
+			panic(r)
+		}
+	}
+}
+
+// drainParallel is Drain with the per-shard event loops running on the
+// worker pool, followed by the shared end-of-run merge and checks.
+func (s *Sim) drainParallel(workers int) (err error) {
+	defer recoverInternal(&err)
+	s.runShardsParallel(workers, s.drainShard)
+	return s.finishDrain()
+}
+
+// growTasks resizes sl to n nil entries, reusing its capacity.
+func growTasks(sl []*JobState, n int) []*JobState {
+	if cap(sl) < n {
+		return make([]*JobState, n)
+	}
+	sl = sl[:n]
+	for i := range sl {
+		sl[i] = nil
+	}
+	return sl
+}
+
+// growLeaves resizes sl to n entries, reusing its capacity.
+func growLeaves(sl []tree.NodeID, n int) []tree.NodeID {
+	if cap(sl) < n {
+		return make([]tree.NodeID, n)
+	}
+	return sl[:n]
+}
+
+// replayParallel runs a full trace with both injection and draining
+// parallel per shard. It requires an ObliviousAssigner: dispatch
+// decisions are precomputed sequentially in arrival order (the
+// assigner reads no time-varying engine state, so the decisions equal
+// the sequential ones, and stateful rules — round-robin cursors,
+// seeded rngs — still observe arrivals in order), then every shard
+// worker walks the full arrival list, advancing its shard's clock at
+// every release instant and injecting only the jobs assigned to its
+// own subtree. Advancing at every release keeps the integral
+// quadrature points identical to the sequential engine's.
+func (s *Sim) replayParallel(trace *workload.Trace, asg Assigner, workers int) (err error) {
+	defer recoverInternal(&err)
+	t := s.tree
+	n := len(trace.Jobs)
+	s.assignBuf = growLeaves(s.assignBuf, n)
+	q := s.Query()
+	a := &s.scratchArrival
+	for i := range trace.Jobs {
+		j := &trace.Jobs[i]
+		if j.LeafSizes != nil && len(j.LeafSizes) != len(t.Leaves()) {
+			return fmt.Errorf("sim: job %d has %d leaf sizes for a %d-leaf tree", j.ID, len(j.LeafSizes), len(t.Leaves()))
+		}
+		*a = Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
+		leaf := asg.Assign(q, a)
+		if t.LeafIndex(leaf) < 0 {
+			return fmt.Errorf("sim: assigner %q: sim: assignment to non-leaf node %d", asg.Name(), leaf)
+		}
+		s.assignBuf[i] = leaf
+	}
+	s.tasks = growTasks(s.tasks, n)
+	s.nextSeq = int64(n)
+	s.runShardsParallel(workers, func(k int) { s.replayShard(k, trace, asg) })
+	for k := range s.shards {
+		if e := s.shards[k].err; e != nil {
+			return e
+		}
+	}
+	return s.finishDrain()
+}
+
+// replayShard is one worker's whole-trace pass for shard k: advance
+// the shard through every release instant, inject the shard's own
+// jobs, then drain the shard.
+func (s *Sim) replayShard(k int, trace *workload.Trace, asg Assigner) {
+	sh := &s.shards[k]
+	for i := range trace.Jobs {
+		j := &trace.Jobs[i]
+		s.advanceShardTo(k, j.Release)
+		leaf := s.assignBuf[i]
+		if int(s.shardOf[leaf]) != k {
+			continue
+		}
+		w := j.Weight
+		if w <= 0 {
+			w = 1
+		}
+		li := s.tree.LeafIndex(leaf)
+		js := s.newTask(sh)
+		js.ID = j.ID
+		js.seq = int64(i)
+		js.Release = j.Release
+		js.RouterSize = j.Size
+		js.LeafWork = j.Size
+		if j.LeafSizes != nil {
+			js.LeafWork = j.LeafSizes[li]
+		}
+		js.FracWeight = 1
+		js.Weight = w
+		js.Leaf = leaf
+		js.leafSizes = j.LeafSizes
+		if err := s.inject(js, tree.NodeID(j.Origin)); err != nil {
+			sh.err = fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
+			return
+		}
+	}
+	s.drainShard(k)
+}

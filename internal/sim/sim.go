@@ -89,6 +89,9 @@ func (js *JobState) CurrentNode() tree.NodeID {
 
 type nodeState struct {
 	id tree.NodeID
+	// shard indexes Sim.shards at the node's root-adjacent subtree
+	// (0 for the root itself, which performs no processing).
+	shard int32
 	// speed is the node's current effective speed; baseSpeed is the
 	// tree's speed, which fault boundaries scale by their factor.
 	speed     float64
@@ -104,7 +107,7 @@ type nodeState struct {
 
 	busyTime float64
 	workDone float64
-	// fracContrib is this leaf's current drain rate of the global
+	// fracContrib is this leaf's current drain rate of its shard's
 	// fractional-flow sum (0 for routers and idle leaves).
 	fracContrib float64
 }
@@ -129,7 +132,9 @@ type Options struct {
 	SelfCheck bool
 	// Observer, when set, is called after every state change (task
 	// injection and every node completion). Used by the Lemma
-	// validators to check invariants at event granularity.
+	// validators to check invariants at event granularity. An Observer
+	// needs a single global event order, so it forces sequential
+	// lockstep execution regardless of Workers.
 	Observer func(s *Sim)
 	// RecordSlices keeps the exact processing slices (node, job,
 	// interval) including preemption boundaries; costs memory
@@ -144,6 +149,25 @@ type Options struct {
 	// Recovery selects what happens to tasks assigned to a permanently
 	// lost leaf (RecoverHold when unset).
 	Recovery RecoveryPolicy
+	// Workers sets the sharded-execution budget. The engine always
+	// partitions the tree at the root's children into independent
+	// shards (the root performs no processing, so every task's path
+	// lies inside one root-child subtree); when Workers > 1 the shard
+	// event loops run on up to Workers goroutines (capped at the shard
+	// count), producing results bit-identical to a sequential run.
+	// 0 and 1 mean sequential. Configurations that need a global event
+	// order — an Observer, or permanent leaf loss under
+	// RecoverRedispatch (migration crosses shards) — fall back to
+	// sequential automatically.
+	Workers int
+	// WorkerTokens, when set, is a shared concurrency-budget
+	// semaphore: every worker goroutine beyond the calling one
+	// try-acquires a token and is skipped when the pool is exhausted
+	// (the caller always proceeds, so progress never blocks on the
+	// pool). experiments.RunAll hands its sweep pool here so that
+	// nested cell-level and shard-level parallelism together never
+	// oversubscribe the -parallel budget.
+	WorkerTokens chan struct{}
 }
 
 // RecoveryPolicy selects the permanent-leaf-loss behavior.
@@ -186,24 +210,36 @@ type Slice struct {
 // A drained engine can be returned to an empty time-zero state with
 // Reset, which retains all allocated capacity so that repeated
 // replicate runs approach zero allocations in steady state.
+//
+// Internally the engine is decomposed at the root's children into
+// shards: each shard owns the event heap, clock, flow-time
+// accumulators, slice log and task arena of one root-child subtree.
+// The root performs no processing and every task's path lies inside
+// one subtree, so shards share no mutable state after dispatch; the
+// sequential and the parallel execution modes both run the identical
+// per-shard state machines and differ only in who steps them.
 type Sim struct {
 	tree *tree.Tree
 	opts Options
 
+	// now is the engine-level clock: the last AdvanceTo target, and
+	// after Drain the maximum shard time. Individual shards may run
+	// ahead of or behind it transiently while events are processed.
 	now   float64
 	nodes []nodeState
-	// events is a min-heap of scheduled node-finish events with lazy
-	// invalidation via nodeState.finishSeq.
-	events []finishEvent
+
+	// shards hold the per-root-child-subtree event machinery;
+	// shardOf[v] indexes shards by node.
+	shards  []shardState
+	shardOf []int32
 
 	tasks   []*JobState
 	nextSeq int64
 
-	// free holds JobStates recycled by Reset; block is the tail of the
-	// current arena chunk fresh tasks are carved from. Together they
-	// keep the per-arrival allocation off the steady-state hot path.
-	free  []*JobState
-	block []JobState
+	// par marks an in-flight parallel section: task-slot writes go to
+	// pre-sized positions and error paths must not walk cross-shard
+	// state.
+	par bool
 
 	// query is the read-only view handed out by Query (one per engine
 	// so the accessor does not allocate).
@@ -215,6 +251,11 @@ type Sim struct {
 	// scratchIDs is reused by Query.AvailCountLarger for packet
 	// de-duplication.
 	scratchIDs []int
+	// assignBuf is reused by the parallel replay's sequential dispatch
+	// prepass.
+	assignBuf []tree.NodeID
+	// sliceCat is the reused concatenation buffer Slices() returns.
+	sliceCat []Slice
 
 	// assigned[leafIndex] lists incomplete tasks assigned to the leaf
 	// (the paper's Q_v(t) for leaves).
@@ -223,30 +264,22 @@ type Sim struct {
 	// complete on it (the paper's Q_v(t)); only kept when Instrument.
 	pendingOn [][]*JobState
 
-	activeTasks int
 	// ps marks processor-sharing mode (Options.Policy == PS{}).
 	ps bool
-	// faultIdx is the cursor into opts.Faults.Boundaries(); boundaries
-	// before it have been applied.
-	faultIdx int
 	// migrations records recovery re-dispatches in time order.
 	migrations []Migration
-	// slices holds the exact processing record when RecordSlices;
-	// slices below mergeFloor predate the latest migration and must
-	// not be extended by sync's merge.
-	slices     []Slice
-	mergeFloor int
-	// Running totals.
-	fracSum        float64 // Σ weight * remainingLeafFraction over active tasks
-	fracRate       float64 // d(fracSum)/dt from leaves currently processing
-	fracIntegral   float64
-	activeIntegral float64 // ∫ activeTasks dt (integral-flow cross-check)
-	eventCount     int64
 }
 
 // New creates an engine for the given tree.
 func New(t *tree.Tree, opts Options) *Sim {
 	s := &Sim{tree: t}
+	rootAdj := t.RootAdjacent()
+	shardIdx := make(map[tree.NodeID]int32, len(rootAdj))
+	for i, v := range rootAdj {
+		shardIdx[v] = int32(i)
+	}
+	s.shards = make([]shardState, len(rootAdj))
+	s.shardOf = make([]int32, t.NumNodes())
 	s.nodes = make([]nodeState, t.NumNodes())
 	for i := range s.nodes {
 		n := &s.nodes[i]
@@ -254,11 +287,19 @@ func New(t *tree.Tree, opts Options) *Sim {
 		n.baseSpeed = t.Speed(n.id)
 		n.speed = n.baseSpeed
 		n.leaf = t.IsLeaf(n.id)
+		if b := t.Branch(n.id); b != tree.None {
+			s.shardOf[i] = shardIdx[b]
+		}
+		n.shard = s.shardOf[i]
 	}
 	s.assigned = make([][]*JobState, len(t.Leaves()))
 	s.applyOptions(opts)
 	return s
 }
+
+// NumShards returns the number of root-child subtrees the engine is
+// partitioned into — the maximum useful Options.Workers value.
+func (s *Sim) NumShards() int { return len(s.shards) }
 
 // applyOptions installs opts, building or clearing the per-node queues
 // as needed. The queue implementation depends on the options (scan for
@@ -296,17 +337,29 @@ func (s *Sim) applyOptions(opts Options) {
 			n.avail.clear()
 		}
 	}
+	// Partition the global boundary list by shard; filtering a
+	// (time, node)-sorted list keeps each shard's list sorted.
+	for k := range s.shards {
+		s.shards[k].bounds = s.shards[k].bounds[:0]
+	}
+	if opts.Faults != nil {
+		for _, b := range opts.Faults.Boundaries() {
+			k := s.shardOf[b.Node]
+			s.shards[k].bounds = append(s.shards[k].bounds, b)
+		}
+	}
 	if opts.Instrument && s.pendingOn == nil {
 		s.pendingOn = make([][]*JobState, len(s.nodes))
 	}
 }
 
 // Reset returns the engine to an empty state at time zero while
-// retaining every allocated buffer (event heap, node queues, task
-// arena, instrumentation slices), so replaying traces on one engine
+// retaining every allocated buffer (event heaps, node queues, task
+// arenas, instrumentation slices), so replaying traces on one engine
 // approaches zero allocations per run. opts may differ arbitrarily
 // from the previous run's options — changing Policy, Instrument,
-// UseScanQueue, etc. is supported and the engine reconfigures itself.
+// UseScanQueue, Workers, etc. is supported and the engine reconfigures
+// itself.
 //
 // Reset recycles every JobState from the previous run: pointers
 // previously obtained from Tasks(), Inject or a Result that references
@@ -314,12 +367,15 @@ func (s *Sim) applyOptions(opts Options) {
 // resetting.
 func (s *Sim) Reset(opts Options) {
 	for _, js := range s.tasks {
-		s.free = append(s.free, js)
+		if js == nil {
+			continue // slot of a run aborted mid-parallel-injection
+		}
+		sh := &s.shards[s.shardOf[js.Leaf]]
+		sh.free = append(sh.free, js)
 	}
 	s.tasks = s.tasks[:0]
 	s.nextSeq = 0
 	s.now = 0
-	s.events = s.events[:0]
 	for i := range s.nodes {
 		n := &s.nodes[i]
 		n.running = nil
@@ -329,18 +385,27 @@ func (s *Sim) Reset(opts Options) {
 		n.workDone = 0
 		n.fracContrib = 0
 	}
+	for k := range s.shards {
+		sh := &s.shards[k]
+		sh.now = 0
+		sh.events = sh.events[:0]
+		sh.faultIdx = 0
+		sh.activeTasks = 0
+		sh.fracSum, sh.fracRate = 0, 0
+		sh.fracIntegral, sh.activeIntegral = 0, 0
+		sh.eventCount = 0
+		sh.slices = sh.slices[:0]
+		sh.mergeFloor = 0
+		sh.err = nil
+		sh.panicVal = nil
+	}
 	for i := range s.assigned {
 		s.assigned[i] = s.assigned[i][:0]
 	}
 	for i := range s.pendingOn {
 		s.pendingOn[i] = s.pendingOn[i][:0]
 	}
-	s.activeTasks = 0
-	s.slices = s.slices[:0]
-	s.mergeFloor = 0
-	s.fracSum, s.fracRate, s.fracIntegral, s.activeIntegral = 0, 0, 0, 0
-	s.eventCount = 0
-	s.faultIdx = 0
+	s.sliceCat = s.sliceCat[:0]
 	s.migrations = s.migrations[:0]
 	s.applyOptions(opts)
 }
@@ -349,15 +414,16 @@ func (s *Sim) Reset(opts Options) {
 // allocation amortizes over this many injections.
 const taskBlockSize = 512
 
-// newTask returns a zeroed JobState from the freelist or the arena.
+// newTask returns a zeroed JobState from the shard's freelist or
+// arena (per shard so parallel injection never contends).
 // Instrumentation buffers of recycled tasks are kept (emptied) when
 // the engine is instrumented so inject can refill them in place; in
 // uninstrumented mode they are dropped to nil, which downstream code
 // (e.g. trace rendering) uses to detect the absence of hop timings.
-func (s *Sim) newTask() *JobState {
-	if n := len(s.free); n > 0 {
-		js := s.free[n-1]
-		s.free = s.free[:n-1]
+func (s *Sim) newTask(sh *shardState) *JobState {
+	if n := len(sh.free); n > 0 {
+		js := sh.free[n-1]
+		sh.free = sh.free[:n-1]
 		ha, hc, pi := js.HopArrive, js.HopComplete, js.pendIdx
 		*js = JobState{}
 		if s.opts.Instrument {
@@ -367,11 +433,11 @@ func (s *Sim) newTask() *JobState {
 		}
 		return js
 	}
-	if len(s.block) == 0 {
-		s.block = make([]JobState, taskBlockSize)
+	if len(sh.block) == 0 {
+		sh.block = make([]JobState, taskBlockSize)
 	}
-	js := &s.block[0]
-	s.block = s.block[1:]
+	js := &sh.block[0]
+	sh.block = sh.block[1:]
 	return js
 }
 
@@ -426,7 +492,7 @@ func (s *Sim) Inject(a *Arrival, leaf tree.NodeID) (*JobState, error) {
 	if w <= 0 {
 		w = 1
 	}
-	js := s.newTask()
+	js := s.newTask(&s.shards[s.shardOf[leaf]])
 	js.ID = a.ID
 	js.seq = s.nextSeq
 	js.Release = a.Release
@@ -447,7 +513,9 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 	// Under redispatch recovery a fault-oblivious assigner may still
 	// target an already-dead leaf; the dispatcher redirects the arrival
 	// to a survivor (no Migration is recorded — the task never started
-	// its original journey).
+	// its original journey). Cross-shard state is read here, which is
+	// safe: redirect requires deaths, and deaths force sequential
+	// execution with every shard advanced to the injection instant.
 	if s.opts.Faults != nil && s.opts.Recovery == RecoverRedispatch {
 		if at, dead := s.opts.Faults.DeathTime(js.Leaf); dead && at <= s.now {
 			if to := s.pickSurvivor(js); to != tree.None {
@@ -480,6 +548,8 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 			full = s.tree.Path(js.Leaf)[len(s.tree.Path(js.Leaf))-1:]
 		}
 	}
+	sh := &s.shards[s.shardOf[js.Leaf]]
+	now := sh.now
 	js.Path = full
 	js.Hop = 0
 	if js.PrioRouter == 0 {
@@ -492,11 +562,11 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 	js.OrigOnCur = s.sizeOn(js, 0)
 	js.PrioOnCur = s.prioOn(js, 0)
 	js.Remaining = js.OrigOnCur
-	js.NodeArrive = s.now
+	js.NodeArrive = now
 	if s.opts.Instrument {
 		js.HopArrive = growFloats(js.HopArrive, len(js.Path))
 		js.HopComplete = growFloats(js.HopComplete, len(js.Path))
-		js.HopArrive[0] = s.now
+		js.HopArrive[0] = now
 		js.pendIdx = growInts(js.pendIdx, len(js.Path))
 		for i, v := range js.Path {
 			js.pendIdx[i] = len(s.pendingOn[v])
@@ -507,9 +577,15 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 	js.leafIdx = len(s.assigned[li])
 	s.assigned[li] = append(s.assigned[li], js)
 
-	s.tasks = append(s.tasks, js)
-	s.activeTasks++
-	s.fracSum += js.FracWeight
+	if s.par {
+		// Parallel injection: slots were pre-sized by seq so workers
+		// write disjoint positions and injection order stays global.
+		s.tasks[js.seq] = js
+	} else {
+		s.tasks = append(s.tasks, js)
+	}
+	sh.activeTasks++
+	sh.fracSum += js.FracWeight
 
 	s.setKey(js)
 	// Sync before pushing: nodes sync lazily, and under processor
@@ -545,13 +621,15 @@ func (s *Sim) setKey(js *JobState) {
 }
 
 // sync brings the node's running task's Remaining and the node's
-// accounting up to the current time. Under processor sharing the
+// accounting up to the node's shard time. Under processor sharing the
 // elapsed work is split equally across all available tasks.
 func (s *Sim) sync(v tree.NodeID) {
 	n := &s.nodes[v]
+	sh := &s.shards[n.shard]
+	now := sh.now
 	from := n.lastSync
-	dt := s.now - n.lastSync
-	n.lastSync = s.now
+	dt := now - from
+	n.lastSync = now
 	if dt <= 0 {
 		return
 	}
@@ -594,11 +672,11 @@ func (s *Sim) sync(v tree.NodeID) {
 		// but never across a migration (mergeFloor): a re-dispatched
 		// task restarting on the same node is a new journey and the
 		// auditor checks the two legs separately.
-		if k := len(s.slices) - 1; k >= 0 && k >= s.mergeFloor && s.slices[k].Node == v &&
-			s.slices[k].Seq == n.running.seq && s.slices[k].To == from {
-			s.slices[k].To = s.now
+		if k := len(sh.slices) - 1; k >= 0 && k >= sh.mergeFloor && sh.slices[k].Node == v &&
+			sh.slices[k].Seq == n.running.seq && sh.slices[k].To == from {
+			sh.slices[k].To = now
 		} else {
-			s.slices = append(s.slices, Slice{Node: v, Job: n.running.ID, Seq: n.running.seq, From: from, To: s.now})
+			sh.slices = append(sh.slices, Slice{Node: v, Job: n.running.ID, Seq: n.running.seq, From: from, To: now})
 		}
 	}
 }
@@ -619,6 +697,7 @@ func (s *Sim) rescheduleWith(v tree.NodeID, force bool) {
 		return
 	}
 	n := &s.nodes[v]
+	sh := &s.shards[n.shard]
 	s.sync(v)
 	if n.running != nil {
 		// The running task's key may depend on Remaining (SRPT).
@@ -632,7 +711,7 @@ func (s *Sim) rescheduleWith(v tree.NodeID, force bool) {
 	n.running = best
 	n.finishSeq++
 	if n.leaf {
-		s.fracRate -= n.fracContrib
+		sh.fracRate -= n.fracContrib
 		n.fracContrib = 0
 	}
 	if best == nil {
@@ -640,19 +719,18 @@ func (s *Sim) rescheduleWith(v tree.NodeID, force bool) {
 	}
 	if n.leaf {
 		n.fracContrib = best.FracWeight * n.speed / best.OrigOnCur
-		s.fracRate += n.fracContrib
+		sh.fracRate += n.fracContrib
 	}
 	if n.speed <= 0 {
 		// Outage: the task stays selected but cannot finish; the next
 		// fault boundary restores the speed and reschedules.
 		return
 	}
-	s.events = append(s.events, finishEvent{
-		at:   s.now + best.Remaining/n.speed,
+	sh.pushEvent(finishEvent{
+		at:   sh.now + best.Remaining/n.speed,
 		node: v,
 		seq:  n.finishSeq,
 	})
-	s.upEvent(len(s.events) - 1)
 }
 
 // reschedulePS is the processor-sharing variant: all available tasks
@@ -660,6 +738,7 @@ func (s *Sim) rescheduleWith(v tree.NodeID, force bool) {
 // remaining task and its finish time scales with the share count.
 func (s *Sim) reschedulePS(v tree.NodeID) {
 	n := &s.nodes[v]
+	sh := &s.shards[n.shard]
 	s.sync(v)
 	var best *JobState
 	for _, js := range n.avail.tasks() {
@@ -674,7 +753,7 @@ func (s *Sim) reschedulePS(v tree.NodeID) {
 	n.running = best
 	n.finishSeq++
 	if n.leaf {
-		s.fracRate -= n.fracContrib
+		sh.fracRate -= n.fracContrib
 		n.fracContrib = 0
 	}
 	if best == nil {
@@ -687,126 +766,184 @@ func (s *Sim) reschedulePS(v tree.NodeID) {
 			contrib += js.FracWeight * (n.speed / k) / js.OrigOnCur
 		}
 		n.fracContrib = contrib
-		s.fracRate += contrib
+		sh.fracRate += contrib
 	}
 	if n.speed <= 0 {
 		return // outage: no completion until a boundary restores speed
 	}
-	s.events = append(s.events, finishEvent{
-		at:   s.now + best.Remaining*k/n.speed,
+	sh.pushEvent(finishEvent{
+		at:   sh.now + best.Remaining*k/n.speed,
 		node: v,
 		seq:  n.finishSeq,
 	})
-	s.upEvent(len(s.events) - 1)
 }
 
-// --- event heap (min by time, then node for determinism) ---
-
-func (s *Sim) eventLess(i, j int) bool {
-	if s.events[i].at != s.events[j].at {
-		return s.events[i].at < s.events[j].at
-	}
-	return s.events[i].node < s.events[j].node
-}
-
-func (s *Sim) upEvent(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !s.eventLess(i, p) {
-			break
-		}
-		s.events[i], s.events[p] = s.events[p], s.events[i]
-		i = p
-	}
-}
-
-func (s *Sim) downEvent(i int) {
-	n := len(s.events)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		small := l
-		if r := l + 1; r < n && s.eventLess(r, l) {
-			small = r
-		}
-		if !s.eventLess(small, i) {
-			break
-		}
-		s.events[i], s.events[small] = s.events[small], s.events[i]
-		i = small
-	}
-}
-
-func (s *Sim) popEvent() finishEvent {
-	top := s.events[0]
-	n := len(s.events) - 1
-	s.events[0] = s.events[n]
-	s.events = s.events[:n]
-	if n > 0 {
-		s.downEvent(0)
-	}
-	return top
-}
-
-// nextEvent returns the earliest live finish event without removing
-// it, discarding stale entries.
-func (s *Sim) nextEvent() (finishEvent, bool) {
-	for len(s.events) > 0 {
-		top := s.events[0]
+// nextEvent returns shard sh's earliest live finish event without
+// removing it, discarding stale entries.
+func (s *Sim) nextEvent(sh *shardState) (finishEvent, bool) {
+	for len(sh.events) > 0 {
+		top := sh.events[0]
 		if s.nodes[top.node].finishSeq == top.seq {
 			return top, true
 		}
-		s.popEvent()
+		sh.popEvent()
 	}
 	return finishEvent{}, false
 }
 
-// advanceClock moves time forward with no events in between,
-// accumulating the flow-time integrals.
-func (s *Sim) advanceClock(to float64) {
-	dt := to - s.now
+// advanceShard moves one shard's clock forward with no events in
+// between, accumulating its flow-time integrals. Every shard advances
+// through the identical set of instants in both execution modes (all
+// arrival releases, plus the shard's own events and boundaries, plus
+// the common drain end time), so the floating-point quadrature of the
+// integrals is bit-identical between sequential and parallel runs.
+func (s *Sim) advanceShard(sh *shardState, to float64) {
+	dt := to - sh.now
 	if dt <= 0 {
 		return
 	}
-	s.activeIntegral += float64(s.activeTasks) * dt
-	s.fracIntegral += s.fracSum*dt - 0.5*s.fracRate*dt*dt
-	s.fracSum -= s.fracRate * dt
-	if s.fracSum < 0 {
-		s.fracSum = 0 // floating-point guard
+	sh.activeIntegral += float64(sh.activeTasks) * dt
+	sh.fracIntegral += sh.fracSum*dt - 0.5*sh.fracRate*dt*dt
+	sh.fracSum -= sh.fracRate * dt
+	if sh.fracSum < 0 {
+		sh.fracSum = 0 // floating-point guard
 	}
-	s.now = to
+	sh.now = to
 }
 
-// AdvanceTo processes all events (and fault boundaries) up to and
-// including the target time and leaves the clock there. Violated
-// engine invariants panic with *InternalError; Drain, ReplayOn and
-// RunPacketized recover those into error returns.
-func (s *Sim) AdvanceTo(target float64) {
-	if target < s.now-timeEps {
-		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now=%v", target, s.now))
-	}
+// advanceShardTo processes shard k's events and fault boundaries up to
+// and including target and leaves the shard clock there. Boundaries
+// interleave with finish events; finish events win ties so a task
+// completing exactly at an outage start still completes.
+func (s *Sim) advanceShardTo(k int, target float64) {
+	sh := &s.shards[k]
 	for {
-		ev, evOK := s.nextEvent()
+		ev, evOK := s.nextEvent(sh)
 		if s.opts.Faults != nil {
-			// Boundaries interleave with finish events; finish events
-			// win ties so a task completing exactly at an outage start
-			// still completes.
-			if b, bOK := s.peekBoundary(); bOK && b.At <= target && (!evOK || b.At < ev.at || ev.at > target) {
-				s.advanceClock(b.At)
-				s.applyBoundary(b)
+			if b, bOK := sh.peekBoundary(); bOK && b.At <= target && (!evOK || b.At < ev.at || ev.at > target) {
+				s.advanceShard(sh, b.At)
+				s.applyBoundary(sh, b)
 				continue
 			}
 		}
 		if !evOK || ev.at > target {
 			break
 		}
-		s.popEvent()
-		s.advanceClock(ev.at)
+		sh.popEvent()
+		s.advanceShard(sh, ev.at)
 		s.handleFinish(ev.node)
 	}
-	s.advanceClock(target)
+	s.advanceShard(sh, target)
+}
+
+// drainShard processes every remaining event and boundary of shard k.
+func (s *Sim) drainShard(k int) {
+	sh := &s.shards[k]
+	for {
+		ev, evOK := s.nextEvent(sh)
+		if s.opts.Faults != nil {
+			if b, bOK := sh.peekBoundary(); bOK && (!evOK || b.At < ev.at) {
+				s.advanceShard(sh, b.At)
+				s.applyBoundary(sh, b)
+				continue
+			}
+		}
+		if !evOK {
+			break
+		}
+		sh.popEvent()
+		s.advanceShard(sh, ev.at)
+		s.handleFinish(ev.node)
+	}
+}
+
+// AdvanceTo processes all events (and fault boundaries) up to and
+// including the target time and leaves every shard's clock there.
+// Violated engine invariants panic with *InternalError; Drain,
+// ReplayOn and RunPacketized recover those into error returns.
+func (s *Sim) AdvanceTo(target float64) {
+	if target < s.now-timeEps {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now=%v", target, s.now))
+	}
+	if s.interleavedMode() {
+		s.runInterleaved(target, false)
+	} else {
+		for k := range s.shards {
+			s.advanceShardTo(k, target)
+		}
+	}
+	s.now = target
+}
+
+// interleavedMode reports whether sequential execution must process
+// events in a single global time order: Observers watch cross-shard
+// state at event granularity, and recovery re-dispatch migrates tasks
+// across shards.
+func (s *Sim) interleavedMode() bool { return !s.parallelOK() }
+
+// parallelOK reports whether the configuration admits per-shard
+// execution (sequential per-shard ordering or parallel workers).
+func (s *Sim) parallelOK() bool {
+	if s.opts.Observer != nil {
+		return false
+	}
+	if s.opts.Faults != nil && s.opts.Faults.HasDeaths() && s.opts.Recovery == RecoverRedispatch {
+		return false
+	}
+	return true
+}
+
+// runInterleaved processes events of all shards in one global
+// (time, node) order. With an Observer every shard's clock advances in
+// lockstep at every event so the Observer sees a globally consistent
+// snapshot; otherwise only the event's shard advances (cross-shard
+// reads during re-dispatch deliberately see raw un-synced Remaining,
+// exactly as the single-heap engine did).
+func (s *Sim) runInterleaved(target float64, drain bool) {
+	lockstep := s.opts.Observer != nil
+	for {
+		evK, evOK := -1, false
+		var ev finishEvent
+		for k := range s.shards {
+			e, ok := s.nextEvent(&s.shards[k])
+			if ok && (!evOK || e.at < ev.at || (e.at == ev.at && e.node < ev.node)) {
+				evK, ev, evOK = k, e, true
+			}
+		}
+		if s.opts.Faults != nil {
+			if bK, b, bOK := s.peekGlobalBoundary(); bOK && (drain || b.At <= target) &&
+				(!evOK || b.At < ev.at || (!drain && ev.at > target)) {
+				s.advanceInterleaved(bK, b.At, lockstep)
+				s.applyBoundary(&s.shards[bK], b)
+				continue
+			}
+		}
+		if !evOK || (!drain && ev.at > target) {
+			break
+		}
+		s.shards[evK].popEvent()
+		s.advanceInterleaved(evK, ev.at, lockstep)
+		s.handleFinish(ev.node)
+	}
+	if !drain {
+		for k := range s.shards {
+			s.advanceShard(&s.shards[k], target)
+		}
+	}
+}
+
+// advanceInterleaved advances shard k (or, in lockstep, every shard)
+// to the next global event instant and tracks the global clock, which
+// re-dispatch decisions read.
+func (s *Sim) advanceInterleaved(k int, to float64, lockstep bool) {
+	if lockstep {
+		for i := range s.shards {
+			s.advanceShard(&s.shards[i], to)
+		}
+	} else {
+		s.advanceShard(&s.shards[k], to)
+	}
+	s.now = to
 }
 
 // Drain runs the engine until no tasks remain active. It returns a
@@ -816,23 +953,32 @@ func (s *Sim) AdvanceTo(target float64) {
 // fails, and nil on a clean drain.
 func (s *Sim) Drain() (err error) {
 	defer recoverInternal(&err)
-	for {
-		ev, evOK := s.nextEvent()
-		if s.opts.Faults != nil {
-			if b, bOK := s.peekBoundary(); bOK && (!evOK || b.At < ev.at) {
-				s.advanceClock(b.At)
-				s.applyBoundary(b)
-				continue
-			}
+	if s.interleavedMode() {
+		s.runInterleaved(0, true)
+	} else {
+		for k := range s.shards {
+			s.drainShard(k)
 		}
-		if !evOK {
-			break
-		}
-		s.popEvent()
-		s.advanceClock(ev.at)
-		s.handleFinish(ev.node)
 	}
-	if s.activeTasks != 0 {
+	return s.finishDrain()
+}
+
+// finishDrain aligns every shard at the common end time (the maximum
+// shard clock, in shard-index order so the alignment is deterministic)
+// and performs the end-of-run checks shared by the sequential and
+// parallel drains.
+func (s *Sim) finishDrain() error {
+	end := s.now
+	for k := range s.shards {
+		if s.shards[k].now > end {
+			end = s.shards[k].now
+		}
+	}
+	for k := range s.shards {
+		s.advanceShard(&s.shards[k], end)
+	}
+	s.now = end
+	if s.Active() != 0 {
 		dumps, total := dumpActive(s)
 		return &StuckError{Now: s.now, Active: total, Tasks: dumps}
 	}
@@ -851,34 +997,40 @@ func (s *Sim) Drain() (err error) {
 	return nil
 }
 
-// peekBoundary returns the next unapplied fault boundary.
-func (s *Sim) peekBoundary() (faults.Boundary, bool) {
-	bs := s.opts.Faults.Boundaries()
-	if s.faultIdx >= len(bs) {
-		return faults.Boundary{}, false
+// peekGlobalBoundary returns the earliest unapplied boundary across
+// all shards in the global (time, node) order, with its shard index.
+func (s *Sim) peekGlobalBoundary() (int, faults.Boundary, bool) {
+	bK, bOK := -1, false
+	var best faults.Boundary
+	for k := range s.shards {
+		b, ok := s.shards[k].peekBoundary()
+		if ok && (!bOK || b.At < best.At || (b.At == best.At && b.Node < best.Node)) {
+			bK, best, bOK = k, b, true
+		}
 	}
-	return bs[s.faultIdx], true
+	return bK, best, bOK
 }
 
 // applyDueBoundaries applies boundaries at or before the current time
 // (Inject's guard; AdvanceTo handles them during time travel).
 func (s *Sim) applyDueBoundaries() {
 	for {
-		b, ok := s.peekBoundary()
+		k, b, ok := s.peekGlobalBoundary()
 		if !ok || b.At > s.now {
 			return
 		}
-		s.applyBoundary(b)
+		s.applyBoundary(&s.shards[k], b)
 	}
 }
 
 // applyBoundary installs node b.Node's new fault-scaled speed; the
-// clock must already stand at b.At. The node is synced under the old
-// speed first, then the finish event is reissued since its deadline
-// scales with the speed. A permanent leaf loss triggers the recovery
-// policy.
-func (s *Sim) applyBoundary(b faults.Boundary) {
-	s.faultIdx++
+// shard clock must already stand at b.At (or at the injection instant
+// for boundaries applied by Inject's guard). The node is synced under
+// the old speed first, then the finish event is reissued since its
+// deadline scales with the speed. A permanent leaf loss triggers the
+// recovery policy.
+func (s *Sim) applyBoundary(sh *shardState, b faults.Boundary) {
+	sh.faultIdx++
 	n := &s.nodes[b.Node]
 	s.sync(b.Node)
 	n.speed = n.baseSpeed * s.opts.Faults.FactorAt(b.Node, b.At)
@@ -952,10 +1104,18 @@ func (js *JobState) workOnLeaf(li int) float64 {
 // migrate re-dispatches one task from its current position to leaf
 // `to`: it restarts at the root of the new leaf's path with full
 // remaining work there (partial work on the abandoned journey is
-// lost), and the move is recorded as a Migration.
+// lost), and the move is recorded as a Migration. Migration can cross
+// shards, which is why deaths under RecoverRedispatch force the
+// interleaved sequential mode: the destination shard's clock is
+// brought up to the migration instant here (its earlier events were
+// already processed by the global-order loop).
 func (s *Sim) migrate(js *JobState, to tree.NodeID) {
 	cur := js.CurrentNode()
 	n := &s.nodes[cur]
+	src := &s.shards[n.shard]
+	now := src.now
+	dst := &s.shards[s.shardOf[to]]
+	s.advanceShard(dst, now)
 	s.sync(cur)
 	// The fractional-flow sum returns to a full remaining fraction
 	// once the task restarts.
@@ -963,13 +1123,20 @@ func (s *Sim) migrate(js *JobState, to tree.NodeID) {
 	if js.Hop == len(js.Path)-1 {
 		frac = js.Remaining / js.OrigOnCur
 	}
-	s.fracSum += js.FracWeight * (1 - frac)
+	if src == dst {
+		src.fracSum += js.FracWeight * (1 - frac)
+	} else {
+		src.fracSum -= js.FracWeight * frac
+		dst.fracSum += js.FracWeight
+		src.activeTasks--
+		dst.activeTasks++
+	}
 	n.avail.remove(js)
 	if n.running == js {
 		n.running = nil
 		n.finishSeq++
 		if n.leaf {
-			s.fracRate -= n.fracContrib
+			src.fracRate -= n.fracContrib
 			n.fracContrib = 0
 		}
 	}
@@ -979,9 +1146,10 @@ func (s *Sim) migrate(js *JobState, to tree.NodeID) {
 		}
 	}
 	s.assignedRemove(s.tree.LeafIndex(js.Leaf), js)
-	s.mergeFloor = len(s.slices)
+	src.mergeFloor = len(src.slices)
+	dst.mergeFloor = len(dst.slices)
 	s.migrations = append(s.migrations, Migration{
-		Job: js.ID, Seq: js.seq, At: s.now, From: js.Leaf, To: to,
+		Job: js.ID, Seq: js.seq, At: now, From: js.Leaf, To: to,
 		OldPath: js.Path, OldLeafWork: js.LeafWork,
 	})
 
@@ -996,13 +1164,13 @@ func (s *Sim) migrate(js *JobState, to tree.NodeID) {
 	js.OrigOnCur = s.sizeOn(js, 0)
 	js.PrioOnCur = s.prioOn(js, 0)
 	js.Remaining = js.OrigOnCur
-	js.NodeArrive = s.now
+	js.NodeArrive = now
 	if s.opts.Instrument {
 		// Hop records restart for the new journey; the abandoned
 		// journey survives in the slice log and the Migration record.
 		js.HopArrive = growFloats(js.HopArrive, len(js.Path))
 		js.HopComplete = growFloats(js.HopComplete, len(js.Path))
-		js.HopArrive[0] = s.now
+		js.HopArrive[0] = now
 		js.pendIdx = growInts(js.pendIdx, len(js.Path))
 		for i, v := range js.Path {
 			js.pendIdx[i] = len(s.pendingOn[v])
@@ -1026,6 +1194,8 @@ func (s *Sim) Migrations() []Migration { return s.migrations }
 // handleFinish completes the running task on node v.
 func (s *Sim) handleFinish(v tree.NodeID) {
 	n := &s.nodes[v]
+	sh := &s.shards[n.shard]
+	now := sh.now
 	js := n.running
 	if js == nil {
 		panic(s.internalErr("handleFinish", "finish event on idle node %d", v))
@@ -1035,17 +1205,17 @@ func (s *Sim) handleFinish(v tree.NodeID) {
 		panic(s.internalErr("handleFinish", "task %d finished on node %d with %v remaining", js.ID, v, js.Remaining))
 	}
 	js.Remaining = 0
-	s.eventCount++
+	sh.eventCount++
 
 	n.avail.remove(js)
 	n.running = nil
 	n.finishSeq++
 	if n.leaf {
-		s.fracRate -= n.fracContrib
+		sh.fracRate -= n.fracContrib
 		n.fracContrib = 0
 	}
 	if s.opts.Instrument {
-		js.HopComplete[js.Hop] = s.now
+		js.HopComplete[js.Hop] = now
 		s.pendRemove(v, js)
 	}
 
@@ -1053,8 +1223,8 @@ func (s *Sim) handleFinish(v tree.NodeID) {
 	if js.Hop == len(js.Path) {
 		// Completed on the leaf machine.
 		js.Completed = true
-		js.Completion = s.now
-		s.activeTasks--
+		js.Completion = now
+		sh.activeTasks--
 		li := s.tree.LeafIndex(js.Leaf)
 		s.assignedRemove(li, js)
 	} else {
@@ -1062,9 +1232,9 @@ func (s *Sim) handleFinish(v tree.NodeID) {
 		js.OrigOnCur = s.sizeOn(js, js.Hop)
 		js.PrioOnCur = s.prioOn(js, js.Hop)
 		js.Remaining = js.OrigOnCur
-		js.NodeArrive = s.now
+		js.NodeArrive = now
 		if s.opts.Instrument {
-			js.HopArrive[js.Hop] = s.now
+			js.HopArrive[js.Hop] = now
 		}
 		s.setKey(js)
 		s.sync(w) // see Inject: distribute elapsed work before joining
@@ -1110,16 +1280,41 @@ func (s *Sim) pendRemove(v tree.NodeID, js *JobState) {
 }
 
 // Active returns the number of incomplete tasks.
-func (s *Sim) Active() int { return s.activeTasks }
+func (s *Sim) Active() int {
+	active := 0
+	for k := range s.shards {
+		active += s.shards[k].activeTasks
+	}
+	return active
+}
 
 // Slices returns the exact processing record (requires
-// Options.RecordSlices). Slices are in the order work was performed;
-// consecutive slices of one task on one node are merged.
+// Options.RecordSlices). Slices are grouped by shard (root-child
+// subtree, in root-adjacent order) and within each shard appear in the
+// order work was performed; consecutive slices of one task on one node
+// are merged. With a single root branch this is plain time order. The
+// grouping is identical in sequential and parallel runs. The returned
+// slice is an engine-owned buffer reused by the next call after a
+// Reset; copy it to retain.
 func (s *Sim) Slices() []Slice {
 	if !s.opts.RecordSlices {
 		panic("sim: Slices requires Options.RecordSlices")
 	}
-	return s.slices
+	s.sliceCat = s.sliceCat[:0]
+	for k := range s.shards {
+		s.sliceCat = append(s.sliceCat, s.shards[k].slices...)
+	}
+	return s.sliceCat
+}
+
+// ShardSlices returns shard k's processing record only (requires
+// Options.RecordSlices) — the per-shard view the auditor can verify
+// independently. Live engine state: read-only for callers.
+func (s *Sim) ShardSlices(k int) []Slice {
+	if !s.opts.RecordSlices {
+		panic("sim: ShardSlices requires Options.RecordSlices")
+	}
+	return s.shards[k].slices
 }
 
 // Tasks returns all tasks ever injected, in injection order. Live
@@ -1144,11 +1339,24 @@ type Stats struct {
 	Completed      int
 }
 
+// totals sums the per-shard running totals in shard-index order, so
+// the floating-point result is independent of execution mode.
+func (s *Sim) totals() (fracFlow, activeIntegral float64, events int64) {
+	for k := range s.shards {
+		sh := &s.shards[k]
+		fracFlow += sh.fracIntegral
+		activeIntegral += sh.activeIntegral
+		events += sh.eventCount
+	}
+	return fracFlow, activeIntegral, events
+}
+
 // Stats computes summary statistics of the run so far.
 func (s *Sim) Stats() Stats {
-	st := Stats{FracFlow: s.fracIntegral, ActiveIntegral: s.activeIntegral, Events: s.eventCount}
+	var st Stats
+	st.FracFlow, st.ActiveIntegral, st.Events = s.totals()
 	for _, js := range s.tasks {
-		if !js.Completed {
+		if js == nil || !js.Completed {
 			continue
 		}
 		st.Completed++
@@ -1165,13 +1373,14 @@ func (s *Sim) Stats() Stats {
 	return st
 }
 
-// NodeUtilization returns per-node (busyTime, workDone) up to now.
+// NodeUtilization returns per-node (busyTime, workDone) up to the
+// node's shard time.
 func (s *Sim) NodeUtilization(v tree.NodeID) (busy, work float64) {
 	// Report includes the running task's progress up to now.
 	n := &s.nodes[v]
 	busy, work = n.busyTime, n.workDone
 	if n.running != nil && n.speed > 0 {
-		dt := s.now - n.lastSync
+		dt := s.shards[n.shard].now - n.lastSync
 		done := math.Min(dt*n.speed, n.running.Remaining)
 		busy += dt
 		work += done
