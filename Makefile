@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-json bench-compare fuzz-smoke ci experiments examples clean
+.PHONY: all build vet test test-short test-race bench bench-json bench-compare stream-smoke fuzz-smoke ci experiments examples clean
 
 all: build vet test test-race
 
@@ -26,12 +26,18 @@ bench:
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_3.json
+	$(GO) run ./cmd/bench -out BENCH_4.json
 
 # Rerun the kernels and fail (exit 3) if any regressed >25% vs the
 # checked-in record.
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_3.json
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_4.json
+
+# Assert the constant-memory streaming property: a 1M-job bounded-
+# retention run must keep its peak heap under a fixed ceiling and flat
+# (within 2x) vs a 100k-job run. Exit 4 on failure.
+stream-smoke:
+	$(GO) run ./cmd/bench -stream-smoke
 
 # Short fuzz pass over every fuzz target (~10s each); corpus seeds
 # alone run on plain `go test`, this digs a little deeper.
@@ -41,9 +47,10 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzRoundToClass -fuzztime=10s ./internal/workload
 	$(GO) test -run=^$$ -fuzz=FuzzTraceValidate -fuzztime=10s ./internal/workload
 
-# Everything CI needs: build, vet, race-clean short tests, and a smoke
-# run of the benchmark harness (fast benchtime, throwaway output).
-ci: build vet test-race
+# Everything CI needs: build, vet, race-clean short tests, a smoke
+# run of the benchmark harness (fast benchtime, throwaway output), and
+# the constant-memory streaming check.
+ci: build vet test-race stream-smoke
 	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_ci.json
 
 # Regenerate EXPERIMENTS.md (sequential so B4 throughput is clean).

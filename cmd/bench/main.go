@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_3.json] [-seed 1] [-scale 0.05] [-quick]
-//	      [-compare BENCH_3.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	bench [-out BENCH_4.json] [-seed 1] [-scale 0.05] [-quick]
+//	      [-compare BENCH_4.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-stream-smoke]
 //
 // -compare checks the fresh results against a previously written
 // baseline file and exits with status 3 if any kernel's ns/op
 // regressed by more than 25%. Kernels present in only one of the two
-// files (new or retired) are noted and never fail the comparison.
+// files (new or retired) are noted and never fail the comparison, as
+// is a schema bump between the two files.
+//
+// -stream-smoke runs only the constant-memory probe: a 1,000,000-job
+// streamed run under bounded retention, failing (exit 4) if the peak
+// heap exceeds a fixed ceiling or is not flat (within 2x) relative to
+// a 100,000-job run.
 //
 // Kernels:
 //
@@ -25,14 +32,21 @@
 //	scenario/run       declarative layer: scenario.Runner on the same
 //	                   workload as engine/warm (overhead shows as the
 //	                   delta between the two rows)
+//	engine/stream-1M   1,000,000 jobs streamed from the Poisson
+//	                   generator under bounded retention (RetainJobs=1):
+//	                   the constant-memory pipeline end to end
 //	experiments/T1     full T1 grid (exercises Sweep fan-out)
 //	experiments/B3     speed-augmentation sweep (exercises Sweep)
 //
 // Engine kernels also report events/sec, computed from the kernel's
 // deterministic event count, so throughput is comparable across
 // machines independently of the workload mix. The JSON additionally
-// carries a cores-vs-throughput scaling table: engine/sharded rerun at
-// every worker count from 1 to GOMAXPROCS.
+// carries a stream_memory table (peak heap of the bounded-retention
+// run at 100k and 1M jobs — flat is the point) and a
+// cores-vs-throughput scaling table: engine/sharded rerun at every
+// worker count from 1 to GOMAXPROCS. On a single-core machine the
+// scaling table is omitted (there is no parallelism to measure) and
+// scaling_note says so.
 package main
 
 import (
@@ -56,11 +70,25 @@ type benchFile struct {
 	Seed       uint64      `json:"seed"`
 	Scale      float64     `json:"scale"`
 	Benchmarks []benchLine `json:"benchmarks"`
+	// StreamMemory records the constant-memory property of the
+	// streaming pipeline: peak heap of a bounded-retention streamed run
+	// at two job counts an order of magnitude apart. Flat (within 2x)
+	// peaks are the acceptance bar.
+	StreamMemory []streamMemRow `json:"stream_memory,omitempty"`
 	// Scaling is the cores-vs-throughput table for the sharded engine:
 	// the engine/sharded kernel rerun at each worker count from 1 to
 	// GOMAXPROCS on the wide topology. Speedup is relative to the
-	// workers=1 row of this table.
+	// workers=1 row of this table. Omitted when GOMAXPROCS is 1 (see
+	// ScalingNote).
 	Scaling []scalingRow `json:"scaling,omitempty"`
+	// ScalingNote explains an absent scaling table.
+	ScalingNote string `json:"scaling_note,omitempty"`
+}
+
+type streamMemRow struct {
+	Jobs          int    `json:"jobs"`
+	Events        int64  `json:"events"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 type scalingRow struct {
@@ -88,15 +116,20 @@ type kernel struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "write JSON results to this file")
+	out := flag.String("out", "BENCH_4.json", "write JSON results to this file")
 	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
 	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
 	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
 	compare := flag.String("compare", "", "baseline JSON to compare against; exit 3 on >25% ns/op regression in any kernel")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	smoke := flag.Bool("stream-smoke", false, "run only the constant-memory stream probe; exit 4 if the 1M-job peak heap breaks the ceiling or is not flat vs 100k jobs")
 	testing.Init()
 	flag.Parse()
+
+	if *smoke {
+		os.Exit(streamSmoke(*seed))
+	}
 
 	benchtime := "1s"
 	if *quick {
@@ -118,17 +151,30 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	kernels, scaling, err := buildKernels(*seed, *scale)
+	// The stream-memory probe doubles as the calibration run for the
+	// engine/stream-1M kernel's event count.
+	var streamRows []streamMemRow
+	for _, jobs := range []int{100_000, 1_000_000} {
+		row, err := streamPeak(*seed, jobs)
+		if err != nil {
+			fatal(err)
+		}
+		streamRows = append(streamRows, row)
+		fmt.Fprintf(os.Stderr, "stream-memory jobs=%-8d %12d B peak heap\n", row.Jobs, row.PeakHeapBytes)
+	}
+
+	kernels, scaling, err := buildKernels(*seed, *scale, streamRows[1].Events)
 	if err != nil {
 		fatal(err)
 	}
 
 	doc := benchFile{
-		Schema:     "treesched-bench/3",
-		Go:         runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       *seed,
-		Scale:      *scale,
+		Schema:       "treesched-bench/4",
+		Go:           runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Seed:         *seed,
+		Scale:        *scale,
+		StreamMemory: streamRows,
 	}
 	for _, k := range kernels {
 		r := testing.Benchmark(k.fn)
@@ -146,10 +192,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10d allocs/op %12d B/op\n",
 			k.name, line.NsPerOp, line.AllocsPerOp, line.BytesPerOp)
 	}
-	doc.Scaling = scaling()
-	for _, row := range doc.Scaling {
-		fmt.Fprintf(os.Stderr, "engine/sharded workers=%-2d %12.0f ns/op %14.0f events/sec %6.2fx\n",
-			row.Workers, row.NsPerOp, row.EventsPerSec, row.Speedup)
+	if doc.GOMAXPROCS > 1 {
+		doc.Scaling = scaling()
+		for _, row := range doc.Scaling {
+			fmt.Fprintf(os.Stderr, "engine/sharded workers=%-2d %12.0f ns/op %14.0f events/sec %6.2fx\n",
+				row.Workers, row.NsPerOp, row.EventsPerSec, row.Speedup)
+		}
+	} else {
+		// One core: every worker count would time the same sequential
+		// schedule, so a "speedup" column would only report noise.
+		doc.ScalingNote = "GOMAXPROCS=1: cores-vs-throughput table omitted (single core, no parallel speedup to measure)"
+		fmt.Fprintln(os.Stderr, "bench: note:", doc.ScalingNote)
 	}
 
 	if *memProfile != "" {
@@ -209,10 +262,11 @@ func readBenchFile(path string) (*benchFile, error) {
 	return doc, nil
 }
 
-// oneSided describes kernels present in only one of the two files —
-// new kernels in current, retired ones in the baseline. They are
-// informational only and never fail a comparison, so a schema bump
-// (new engine/sharded kernels vs an old baseline) stays green.
+// oneSided describes differences that are informational only and
+// never fail a comparison: a schema bump between the two files, and
+// kernels present in only one of them — new kernels in current,
+// retired ones in the baseline — so comparing across a schema bump
+// stays green.
 func oneSided(baseline, current *benchFile) []string {
 	base := make(map[string]bool, len(baseline.Benchmarks))
 	cur := make(map[string]bool, len(current.Benchmarks))
@@ -223,6 +277,10 @@ func oneSided(baseline, current *benchFile) []string {
 		cur[c.Name] = true
 	}
 	var out []string
+	if baseline.Schema != current.Schema {
+		out = append(out, fmt.Sprintf("schema changed (%s -> %s): one-sided kernels below are expected, shared kernels still compare",
+			baseline.Schema, current.Schema))
+	}
 	for _, c := range current.Benchmarks {
 		if !base[c.Name] {
 			out = append(out, fmt.Sprintf("kernel %s is new (absent from baseline); not compared", c.Name))
@@ -262,8 +320,9 @@ func regressions(baseline, current *benchFile, threshold float64) []string {
 // scaling table (deferred so its timed runs happen after the named
 // kernels, matching the output order). The engine workload is fixed
 // (seed-derived) so one calibration run yields the event count every
-// timed iteration will reproduce.
-func buildKernels(seed uint64, scale float64) ([]kernel, func() []scalingRow, error) {
+// timed iteration will reproduce; streamEvents is the stream-1M
+// kernel's count, calibrated by the stream-memory probe.
+func buildKernels(seed uint64, scale float64, streamEvents int64) ([]kernel, func() []scalingRow, error) {
 	t := treesched.FatTree(2, 2, 2)
 	tr, err := treesched.PoissonTrace(seed+41, 2000, 0.95, t)
 	if err != nil {
@@ -356,6 +415,29 @@ func buildKernels(seed uint64, scale float64) ([]kernel, func() []scalingRow, er
 		},
 	})
 
+	// The streaming pipeline end to end: a million Poisson jobs drawn
+	// one at a time and retired through bounded retention, so B/op is
+	// the whole run's footprint and must stay at setup cost rather
+	// than growing with the job count. Runs on streamTree (speed 1.5)
+	// — see streamPeak for why stability matters here.
+	st := streamTree()
+	ks = append(ks, kernel{
+		name:   "engine/stream-1M",
+		events: streamEvents,
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src, err := treesched.PoissonSource(seed+47, streamJobs, 0.95, st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := treesched.RunStream(st, src, treesched.NewGreedyIdentical(0.5), treesched.Options{RetainJobs: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
 	for _, id := range []string{"T1", "B3"} {
 		e, err := experiments.ByID(id)
 		if err != nil {
@@ -432,6 +514,107 @@ func buildKernels(seed uint64, scale float64) ([]kernel, func() []scalingRow, er
 		return rows
 	}
 	return ks, scaling, nil
+}
+
+// streamJobs is the stream kernel's job count; the memory probe runs
+// it against a 10x-smaller control to show the peak heap is flat.
+const (
+	streamJobs      = 1_000_000
+	streamProbeStep = 32768
+	// smokeCeiling is the -stream-smoke heap bound for the 1M-job run:
+	// generous against GC pacing noise, far below what materializing a
+	// million jobs plus their task state would need.
+	smokeCeiling = 64 << 20
+	// smokeRatio bounds the 1M-vs-100k peak-heap growth ("flat").
+	smokeRatio = 2.0
+)
+
+// streamTree is the stream kernel's topology: the standard fat tree
+// at speed 1.5, so load 0.95 is stable and the in-flight task count
+// stays bounded.
+func streamTree() *treesched.Tree {
+	return treesched.FatTree(2, 2, 2).WithUniformSpeed(1.5)
+}
+
+// memProbeSource passes an arrival stream through unchanged while
+// sampling the heap every streamProbeStep jobs, recording the peak.
+type memProbeSource struct {
+	src  treesched.ArrivalSource
+	n    int
+	peak uint64
+}
+
+func (p *memProbeSource) Next() (treesched.Job, bool) {
+	j, ok := p.src.Next()
+	if ok {
+		if p.n++; p.n%streamProbeStep == 0 {
+			p.sample()
+		}
+	}
+	return j, ok
+}
+
+func (p *memProbeSource) Err() error { return p.src.Err() }
+
+func (p *memProbeSource) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > p.peak {
+		p.peak = ms.HeapAlloc
+	}
+}
+
+// streamPeak runs the bounded-retention streamed kernel once at the
+// given job count and reports its event count and peak heap. The
+// tree runs at speed 1.5 (the resource-augmentation default): the
+// constant-memory property needs a stable system — an overloaded one
+// accumulates a backlog of live tasks proportional to the job count
+// no matter how completions are recycled.
+func streamPeak(seed uint64, jobs int) (streamMemRow, error) {
+	t := streamTree()
+	src, err := treesched.PoissonSource(seed+47, jobs, 0.95, t)
+	if err != nil {
+		return streamMemRow{}, err
+	}
+	probe := &memProbeSource{src: src}
+	runtime.GC()
+	probe.sample()
+	res, err := treesched.RunStream(t, probe, treesched.NewGreedyIdentical(0.5), treesched.Options{RetainJobs: 1})
+	if err != nil {
+		return streamMemRow{}, err
+	}
+	probe.sample()
+	return streamMemRow{Jobs: jobs, Events: res.Stats.Events, PeakHeapBytes: probe.peak}, nil
+}
+
+// streamSmoke is the -stream-smoke mode: assert the constant-memory
+// property without timing anything. Returns the process exit code.
+func streamSmoke(seed uint64) int {
+	small, err := streamPeak(seed, streamJobs/10)
+	if err != nil {
+		fatal(err)
+	}
+	big, err := streamPeak(seed, streamJobs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: stream smoke: peak heap %.1f MiB at %d jobs, %.1f MiB at %d jobs\n",
+		float64(small.PeakHeapBytes)/(1<<20), small.Jobs, float64(big.PeakHeapBytes)/(1<<20), big.Jobs)
+	code := 0
+	if big.PeakHeapBytes > smokeCeiling {
+		fmt.Fprintf(os.Stderr, "bench: stream smoke FAIL: %d-job peak %d B exceeds the %d B ceiling\n",
+			big.Jobs, big.PeakHeapBytes, int64(smokeCeiling))
+		code = 4
+	}
+	if float64(big.PeakHeapBytes) > smokeRatio*float64(small.PeakHeapBytes) {
+		fmt.Fprintf(os.Stderr, "bench: stream smoke FAIL: peak heap grew %.2fx from %d to %d jobs (limit %.1fx)\n",
+			float64(big.PeakHeapBytes)/float64(small.PeakHeapBytes), small.Jobs, big.Jobs, smokeRatio)
+		code = 4
+	}
+	if code == 0 {
+		fmt.Fprintln(os.Stderr, "bench: stream smoke OK: peak heap is flat in the job count")
+	}
+	return code
 }
 
 func fatal(err error) {

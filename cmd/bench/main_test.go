@@ -97,3 +97,23 @@ func TestOneSidedKernels(t *testing.T) {
 		t.Fatalf("identical files produced notes: %v", notes)
 	}
 }
+
+func TestOneSidedSchemaBump(t *testing.T) {
+	base := doc(benchLine{Name: "engine/cold", NsPerOp: 1000})
+	cur := &benchFile{Schema: "treesched-bench/4", Benchmarks: []benchLine{
+		{Name: "engine/cold", NsPerOp: 900},
+		{Name: "engine/stream-1M", NsPerOp: 5000},
+	}}
+	notes := oneSided(base, cur)
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want schema note + new-kernel note", notes)
+	}
+	if !strings.Contains(notes[0], "schema changed") || !strings.Contains(notes[0], "treesched-bench/4") {
+		t.Fatalf("first note %q should describe the schema bump", notes[0])
+	}
+	// The bump is informational: shared kernels still gate regressions.
+	cur.Benchmarks[0].NsPerOp = 2000
+	if regs := regressions(base, cur, 0.25); len(regs) != 1 {
+		t.Fatalf("regressions across a schema bump = %v, want the shared kernel to still compare", regs)
+	}
+}

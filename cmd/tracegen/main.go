@@ -7,6 +7,12 @@
 //	         -capacity 2 [-burst 10] [-unrelated 8:0.5,2] [-eps 0.5] \
 //	         [-seed 1] -o trace.json
 //	tracegen -scenario run.json -o trace.json
+//	tracegen -stream -n 1000000 -o trace.ndjson
+//
+// -stream emits newline-delimited JSON (one job per line) drawn from
+// the streaming generator, so million-job traces are written in
+// constant memory; the jobs are bit-identical to the materialized
+// form. workload.NDJSONSource reads the format back.
 //
 // Size specs: uniform:lo,hi | bimodal:small,big,pbig | pareto:min,alpha,cap.
 // -eps > 0 rounds all sizes to powers of (1+eps).
@@ -25,7 +31,9 @@ import (
 	"os"
 
 	"treesched/internal/cli"
+	"treesched/internal/rng"
 	"treesched/internal/scenario"
+	"treesched/internal/workload"
 )
 
 func main() {
@@ -47,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	unrelated := fs.String("unrelated", "", "LEAVES:lo,hi per-leaf sizes")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	stream := fs.Bool("stream", false, "write NDJSON (one job per line) from the streaming generator in constant memory")
 	scenFile := fs.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
 	dump := fs.Bool("dump-scenario", false, "print the scenario as JSON and exit without generating")
 	if err := fs.Parse(args); err != nil {
@@ -116,10 +125,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if sc.Workload.Capacity == 0 {
 		sc.Workload.Capacity = 1
 	}
-	tr, err := sc.Workload.Generate(sc.Seed)
-	if err != nil {
-		return fail(err)
-	}
 
 	w := stdout
 	if *out != "" {
@@ -130,10 +135,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		w = f
 	}
-	if err := tr.WriteJSON(w); err != nil {
-		return fail(err)
+	var st workload.TraceStats
+	if *stream {
+		src, err := sc.Workload.SourceFrom(rng.New(sc.Seed))
+		if err != nil {
+			return fail(err)
+		}
+		if st, err = workload.StreamNDJSON(src, w); err != nil {
+			return fail(err)
+		}
+	} else {
+		tr, err := sc.Workload.Generate(sc.Seed)
+		if err != nil {
+			return fail(err)
+		}
+		if err := tr.WriteJSON(w); err != nil {
+			return fail(err)
+		}
+		st = tr.Stats()
 	}
-	st := tr.Stats()
 	fmt.Fprintf(stderr, "tracegen: %d jobs, total work %.4g, span %.4g, mean size %.4g, max size %.4g, offered %.4g/s\n",
 		st.Jobs, st.TotalWork, st.Span, st.MeanSize, st.MaxSize, st.OfferedPerSec)
 	return 0

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"treesched/internal/workload"
 )
 
 func exec(t *testing.T, args ...string) (int, string, string) {
@@ -81,5 +84,49 @@ func TestRunBadFlagExitsTwo(t *testing.T) {
 	code, _, _ := exec(t, "-bogus")
 	if code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunStreamEmitsNDJSON(t *testing.T) {
+	// -stream must yield the exact same jobs as the materialized form,
+	// one JSON object per line, with the same stderr summary.
+	code, want, errWant := exec(t, "-n", "40", "-seed", "4")
+	if code != 0 {
+		t.Fatalf("materialized exit %d", code)
+	}
+	code, out, errw := exec(t, "-n", "40", "-seed", "4", "-stream")
+	if code != 0 {
+		t.Fatalf("-stream exit %d, stderr %q", code, errw)
+	}
+	if errw != errWant {
+		t.Fatalf("stream summary diverges:\n  materialized %q\n  streamed     %q", errWant, errw)
+	}
+	var doc struct {
+		Jobs []workload.Job `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(want), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Collect(workload.NewNDJSONSource(strings.NewReader(out)))
+	if err != nil {
+		t.Fatalf("reading NDJSON back: %v", err)
+	}
+	if len(tr.Jobs) != len(doc.Jobs) {
+		t.Fatalf("streamed %d jobs, want %d", len(tr.Jobs), len(doc.Jobs))
+	}
+	for i := range tr.Jobs {
+		if !reflect.DeepEqual(tr.Jobs[i], doc.Jobs[i]) {
+			t.Fatalf("job %d diverges:\n  materialized %+v\n  streamed     %+v", i, doc.Jobs[i], tr.Jobs[i])
+		}
+	}
+}
+
+func TestRunStreamBursty(t *testing.T) {
+	code, out, errw := exec(t, "-n", "30", "-seed", "2", "-process", "bursty", "-burst", "5", "-stream")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if got := strings.Count(strings.TrimRight(out, "\n"), "\n") + 1; got != 30 {
+		t.Fatalf("NDJSON has %d lines, want 30", got)
 	}
 }

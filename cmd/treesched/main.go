@@ -7,6 +7,7 @@
 //	          -policy sjf -speed 1.5 -eps 0.5 -seed 1 [-unrelated]
 //	          [-faults outages:4,50] [-recovery redispatch] [-audit]
 //	          [-shards 0] [-render] [-gantt] [-trace jobs.json]
+//	          [-stream] [-retain 1000]
 //	treesched -scenario run.json            # or a compact one-liner file
 //	treesched -topo star:4 -n 500 -dump-scenario > run.json
 //
@@ -27,6 +28,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +40,7 @@ import (
 	"treesched/internal/lowerbound"
 	"treesched/internal/metrics"
 	"treesched/internal/scenario"
+	"treesched/internal/sim"
 	"treesched/internal/trace"
 )
 
@@ -67,7 +71,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultSpec := fs.String("faults", "", "fault plan spec (outages:count,dur | brownouts:count,dur,factor | leafloss:count,frac)")
 	recovery := fs.String("recovery", "", "leaf-loss recovery policy: hold | redispatch")
 	traceOut := fs.String("trace", "", "write the generated workload trace to this JSON file")
-	resultOut := fs.String("result", "", "write per-job results to this JSON file")
+	resultOut := fs.String("result", "", "write per-job results to this JSON file (NDJSON for streamed or very large runs)")
+	stream := fs.Bool("stream", false, "run through the streaming pipeline: generated workloads are drawn one job at a time and never materialized (results are identical)")
+	retain := fs.Int("retain", 0, "keep only the last N per-job records and recycle engine state at each completion: memory becomes independent of -n (0 = keep all)")
 	scenFile := fs.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
 	dump := fs.Bool("dump-scenario", false, "print the scenario as JSON and exit without running")
 	var shards int
@@ -87,12 +93,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	// Whether -shards/-parallel was given explicitly decides if it
-	// overrides a scenario file's engine.shards setting.
-	shardsSet := false
+	// Whether -shards/-parallel (and the streaming knobs) were given
+	// explicitly decides if they override a scenario file's engine
+	// settings.
+	shardsSet, streamSet, retainSet := false, false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "shards" || f.Name == "parallel" {
+		switch f.Name {
+		case "shards", "parallel":
 			shardsSet = true
+		case "stream":
+			streamSet = true
+		case "retain":
+			retainSet = true
 		}
 	})
 
@@ -107,6 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if shardsSet {
 			sc.Engine.Shards = shards
+		}
+		if streamSet {
+			sc.Engine.Stream = *stream
+		}
+		if retainSet {
+			sc.Engine.RetainJobs = *retain
 		}
 	} else {
 		topoSpec, err := scenario.ParseSpec(*topo)
@@ -129,6 +147,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Packetized: *packetized,
 				Instrument: *gantt || *checkLemmas,
 				Shards:     shards,
+				Stream:     *stream,
+				RetainJobs: *retain,
 			},
 		}
 		if *unrelated {
@@ -156,6 +176,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		sc.Faults.Recovery = *recovery
 	}
+	if sc.Engine.RetainJobs > 0 {
+		// Bounded retention discards the per-task state these reports
+		// are built from (full slice/task introspection, per-job lemma
+		// ratios).
+		switch {
+		case *audit:
+			return fail(fmt.Errorf("-audit needs full task retention (drop -retain)"))
+		case *gantt:
+			return fail(fmt.Errorf("-gantt needs full task retention (drop -retain)"))
+		case *checkLemmas:
+			return fail(fmt.Errorf("-checklemmas needs full per-job retention (drop -retain)"))
+		}
+	}
 	if *dump {
 		if err := sc.WriteJSON(stdout); err != nil {
 			return fail(err)
@@ -176,6 +209,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *traceOut != "" {
+		if in.Trace == nil {
+			return fail(fmt.Errorf("-trace: a streamed workload is never materialized (use tracegen -stream, or drop -stream)"))
+		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			return fail(err)
@@ -202,13 +238,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		in.Opts.Instrument = true
 		in.Opts.RecordSlices = true
 	}
+	// Under bounded retention the Result only holds the last -retain
+	// jobs, so -result streams every completion to disk as NDJSON
+	// during the run instead of dumping afterwards.
+	var resultFile *os.File
+	var resultBuf *bufio.Writer
+	if *resultOut != "" && sc.Engine.RetainJobs > 0 {
+		f, err := os.Create(*resultOut)
+		if err != nil {
+			return fail(err)
+		}
+		resultFile, resultBuf = f, bufio.NewWriter(f)
+		in.Opts.Sink = sim.NewNDJSONSink(resultBuf)
+	}
 	res, err := in.Run()
 	if err != nil {
+		if resultFile != nil {
+			resultFile.Close()
+		}
 		return fail(err)
 	}
 
-	lb := lowerbound.Best(in.Tree, in.Trace)
-	sum := metrics.FlowSummary(res)
 	fmt.Fprintf(stdout, "topology        %s (%d nodes, %d machines)\n", sc.Topology, in.Tree.NumNodes(), len(in.Tree.Leaves()))
 	fmt.Fprintf(stdout, "workload        %d jobs, load %.2f, seed %d\n", sc.Workload.N, sc.Workload.Load, sc.Seed)
 	fmt.Fprintf(stdout, "scheduler       %s + %s, speed %.2f\n", in.Assigner.Name(), in.Opts.Policy.Name(), printedSpeed(sc, *scenFile == "", *speed))
@@ -233,9 +283,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "total flow      %.4g\n", res.Stats.TotalFlow)
 	fmt.Fprintf(stdout, "fractional flow %.4g\n", res.Stats.FracFlow)
-	fmt.Fprintf(stdout, "flow/job        %s\n", sum)
+	if res.Stream != nil && len(res.Jobs) != res.Stream.Completed {
+		// Bounded retention: the per-job record is truncated, so the
+		// summary comes from the online accumulator instead.
+		fmt.Fprintf(stdout, "flow/job        mean %.4g  l2 %.4g  max %.4g (streamed; %d of %d jobs retained)\n",
+			res.Stream.AvgFlow(), res.Stream.LkNormFlow(2), res.Stream.MaxFlow, len(res.Jobs), res.Stream.Completed)
+	} else {
+		fmt.Fprintf(stdout, "flow/job        %s\n", metrics.FlowSummary(res))
+	}
 	fmt.Fprintf(stdout, "makespan        %.4g, events %d\n", res.Stats.Makespan, res.Stats.Events)
-	fmt.Fprintf(stdout, "OPT lower bound %.4g  =>  competitive ratio <= %.3f\n", lb, res.Stats.TotalFlow/lb)
+	if in.Trace != nil {
+		lb := lowerbound.Best(in.Tree, in.Trace)
+		fmt.Fprintf(stdout, "OPT lower bound %.4g  =>  competitive ratio <= %.3f\n", lb, res.Stats.TotalFlow/lb)
+	} else {
+		fmt.Fprintf(stdout, "OPT lower bound n/a (streamed workload is never materialized)\n")
+	}
 	b := metrics.Bottleneck(res)
 	fmt.Fprintf(stdout, "bottleneck      node %d at %.1f%% busy\n", b.Node, 100*b.Busy)
 	if *checkLemmas {
@@ -247,12 +309,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, trace.Gantt(res, 100))
 	}
-	if *resultOut != "" {
+	switch {
+	case resultFile != nil:
+		// Per-job lines were emitted by the sink during the run; finish
+		// with one trailer line carrying the summary.
+		enc := json.NewEncoder(resultBuf)
+		trailer := struct {
+			Stats  sim.Stats        `json:"stats"`
+			Stream *sim.StreamStats `json:"stream,omitempty"`
+		}{res.Stats, res.Stream}
+		if err := enc.Encode(trailer); err != nil {
+			return fail(err)
+		}
+		if err := resultBuf.Flush(); err != nil {
+			return fail(err)
+		}
+		if err := resultFile.Close(); err != nil {
+			return fail(err)
+		}
+	case *resultOut != "":
 		f, err := os.Create(*resultOut)
 		if err != nil {
 			return fail(err)
 		}
-		if err := res.WriteJSON(f); err != nil {
+		// One giant JSON document stops being practical long before a
+		// million jobs; switch to the streaming NDJSON form.
+		write := res.WriteJSON
+		if len(res.Jobs) >= 100000 {
+			write = res.WriteNDJSON
+		}
+		if err := write(f); err != nil {
 			return fail(err)
 		}
 		if err := f.Close(); err != nil {

@@ -179,3 +179,100 @@ func TestRunShardsOverridesScenarioFile(t *testing.T) {
 		t.Fatalf("-shards override changed the report:\n%s", out)
 	}
 }
+
+func TestRunStreamFlagMatchesMaterialized(t *testing.T) {
+	// The streaming pipeline is bit-identical; only the lower-bound
+	// line (which needs the materialized trace) may differ.
+	base := []string{"-topo", "fattree:2,2,2", "-n", "200", "-seed", "11"}
+	code, want, errw := exec(t, base...)
+	if code != 0 {
+		t.Fatalf("baseline exit %d, stderr %q", code, errw)
+	}
+	code, out, errw := exec(t, append(append([]string{}, base...), "-stream")...)
+	if code != 0 {
+		t.Fatalf("-stream exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "OPT lower bound n/a") {
+		t.Fatalf("streamed report should mark the lower bound n/a:\n%s", out)
+	}
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "OPT lower bound") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(out) != strip(want) {
+		t.Fatalf("streamed report diverges from materialized run:\n--- materialized\n%s\n--- streamed\n%s", want, out)
+	}
+}
+
+func TestRunRetainSummaryAndResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "res.ndjson")
+	code, out, errw := exec(t, "-topo", "star:4", "-n", "300", "-seed", "2",
+		"-stream", "-retain", "10", "-result", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "10 of 300 jobs retained") {
+		t.Fatalf("report missing retention note:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 301 {
+		t.Fatalf("result has %d lines, want 300 job lines + stats trailer", len(lines))
+	}
+	if !strings.Contains(lines[300], `"stats"`) {
+		t.Fatalf("last line is not the stats trailer: %s", lines[300])
+	}
+}
+
+func TestRunRetainRejectsIntrospectionFlags(t *testing.T) {
+	for _, extra := range []string{"-audit", "-gantt", "-checklemmas"} {
+		code, _, errw := exec(t, "-topo", "star:4", "-n", "20", "-retain", "5", extra)
+		if code != 1 {
+			t.Fatalf("%s: exit %d, want 1 (stderr %q)", extra, code, errw)
+		}
+		if !strings.Contains(errw, "-retain") {
+			t.Fatalf("%s: stderr %q does not blame -retain", extra, errw)
+		}
+	}
+}
+
+func TestRunStreamRejectsTraceOut(t *testing.T) {
+	code, _, errw := exec(t, "-topo", "star:4", "-n", "20", "-stream",
+		"-trace", filepath.Join(t.TempDir(), "t.json"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errw)
+	}
+	if !strings.Contains(errw, "never materialized") {
+		t.Fatalf("stderr %q does not explain the missing trace", errw)
+	}
+}
+
+func TestRunStreamOverridesScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.txt")
+	if err := os.WriteFile(path, []byte("topo=star:4 n=40 size=uniform:1,8 load=0.8 seed=9 stream retain=5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errw := exec(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "5 of 40 jobs retained") {
+		t.Fatalf("scenario file streaming knobs ignored:\n%s", out)
+	}
+	// -retain 0 on the command line restores full retention.
+	code, out, errw = exec(t, "-scenario", path, "-retain", "0")
+	if code != 0 {
+		t.Fatalf("override exit %d, stderr %q", code, errw)
+	}
+	if strings.Contains(out, "jobs retained") {
+		t.Fatalf("-retain 0 override did not restore full retention:\n%s", out)
+	}
+}

@@ -19,8 +19,9 @@ import (
 //
 // Keys: name topo process n size class load cap related unrelated
 // round maxweight policy assigner eps seed aseed speed speeds horizon
-// faults recovery shards and the flags packetized instrument scanqueue
-// slices. Inline fault events, like inline jobs, are JSON-only.
+// faults recovery shards retain and the flags packetized instrument
+// scanqueue slices stream. Inline fault events, like inline jobs, are
+// JSON-only.
 
 // Compact renders the scenario as its one-line form. Scenarios that
 // only JSON can express (inline jobs, names with whitespace) return
@@ -113,6 +114,9 @@ func (sc *Scenario) Compact() (string, error) {
 	if sc.Engine.Shards != 0 {
 		add("shards", strconv.Itoa(sc.Engine.Shards))
 	}
+	if sc.Engine.RetainJobs != 0 {
+		add("retain", strconv.Itoa(sc.Engine.RetainJobs))
+	}
 	if sc.Engine.Packetized {
 		tok = append(tok, "packetized")
 	}
@@ -124,6 +128,9 @@ func (sc *Scenario) Compact() (string, error) {
 	}
 	if sc.Engine.RecordSlices {
 		tok = append(tok, "slices")
+	}
+	if sc.Engine.Stream {
+		tok = append(tok, "stream")
 	}
 	return strings.Join(tok, " "), nil
 }
@@ -162,6 +169,8 @@ func ParseCompact(input string) (*Scenario, error) {
 				sc.Engine.ScanQueue = true
 			case "slices":
 				sc.Engine.RecordSlices = true
+			case "stream":
+				sc.Engine.Stream = true
 			default:
 				return nil, fmt.Errorf("compact scenario: unknown flag %q", key)
 			}
@@ -242,6 +251,8 @@ func (sc *Scenario) setCompact(key, val string) error {
 		sc.Horizon, err = strconv.Atoi(val)
 	case "shards":
 		sc.Engine.Shards, err = strconv.Atoi(val)
+	case "retain":
+		sc.Engine.RetainJobs, err = strconv.Atoi(val)
 	case "faults":
 		var sp Spec
 		sp, err = ParseSpec(val)

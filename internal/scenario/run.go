@@ -24,8 +24,15 @@ type Instance struct {
 	// compiled form is already installed in Opts.Faults.
 	FaultPlan *faults.Plan
 	// Opts is ready for sim.Run/New. Callers may attach the
-	// non-serializable options (Observer, SelfCheck) before running.
+	// non-serializable options (Observer, SelfCheck, Sink) before
+	// running.
 	Opts sim.Options
+
+	// workload is the resolved workload copy (topology-derived
+	// defaults filled in), kept so NewSource can stream lazily
+	// generated scenarios: those leave Trace nil and draw jobs on
+	// demand.
+	workload Workload
 }
 
 // Build resolves every spec in the scenario against the registries
@@ -62,13 +69,26 @@ func (sc *Scenario) Build() (*Instance, error) {
 		u.Leaves = len(base.Leaves())
 		w.Unrelated = &u
 	}
+	if sc.Engine.RetainJobs < 0 {
+		return nil, fmt.Errorf("scenario: engine.retain_jobs must be >= 0, got %d", sc.Engine.RetainJobs)
+	}
+	if sc.Engine.Packetized && (sc.Engine.Stream || sc.Engine.RetainJobs > 0) {
+		return nil, fmt.Errorf("scenario: packetized runs do not support streaming")
+	}
 	// One rng stream per scenario: workload generation draws first,
 	// fault-plan generation after, so fault-free scenarios keep their
-	// historical traces bit for bit.
+	// historical traces bit for bit. Lazily streamable scenarios skip
+	// materialization entirely — NewSource draws the identical stream
+	// prefix from a fresh rng.New(Seed) at run time (fault plans need
+	// the trace's span and force materialization; explicit fault
+	// events do not).
 	r := rng.New(sc.Seed)
-	tr, err := w.GenerateFrom(r)
-	if err != nil {
-		return nil, fmt.Errorf("scenario: workload: %w", err)
+	var tr *workload.Trace
+	if !sc.lazyStreamable(&w) {
+		tr, err = w.GenerateFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: workload: %w", err)
+		}
 	}
 
 	pol, err := ParsePolicy(sc.EffPolicy())
@@ -86,7 +106,9 @@ func (sc *Scenario) Build() (*Instance, error) {
 			UseScanQueue: sc.Engine.ScanQueue,
 			RecordSlices: sc.Engine.RecordSlices,
 			Workers:      sc.Engine.Shards,
+			RetainJobs:   sc.Engine.RetainJobs,
 		},
+		workload: w,
 	}
 	if sc.Faults != nil {
 		if err := applyFaults(in, r); err != nil {
@@ -150,11 +172,15 @@ func (in *Instance) NewAssigner() (sim.Assigner, error) {
 	return asg, nil
 }
 
-// Run executes the built instance (packetized or store-and-forward
-// per the scenario's engine options) on a fresh engine.
+// Run executes the built instance (packetized, streaming, or
+// store-and-forward per the scenario's engine options) on a fresh
+// engine.
 func (in *Instance) Run() (*sim.Result, error) {
 	if in.Scenario.Engine.Packetized {
 		return sim.RunPacketized(in.Tree, in.Trace, in.Assigner, in.Opts)
+	}
+	if in.Scenario.Engine.Stream {
+		return in.runStream(nil, in.Assigner)
 	}
 	return sim.Run(in.Tree, in.Trace, in.Assigner, in.Opts)
 }
@@ -211,6 +237,9 @@ func (r *Runner) Run() (*sim.Result, error) {
 		return nil, err
 	}
 	r.reset()
+	if r.Instance.Scenario.Engine.Stream {
+		return r.Instance.runStream(r.s, asg)
+	}
 	return sim.RunOn(r.s, r.Instance.Trace, asg)
 }
 
@@ -221,5 +250,13 @@ func (r *Runner) Run() (*sim.Result, error) {
 // stateful assigners carry their state across calls.
 func (r *Runner) Replay() error {
 	r.reset()
+	if r.Instance.Scenario.Engine.Stream {
+		src, err := r.Instance.NewSource()
+		if err != nil {
+			return err
+		}
+		_, err = sim.ReplayStreamOn(r.s, src, r.Instance.Assigner)
+		return err
+	}
 	return sim.ReplayOn(r.s, r.Instance.Trace, r.Instance.Assigner)
 }

@@ -189,6 +189,17 @@ type Engine struct {
 	// subtree-sharded engine (0 or 1 = sequential). Results are
 	// bit-identical either way; this is purely a speed knob.
 	Shards int `json:"shards,omitempty"`
+	// Stream runs the scenario through the streaming pipeline
+	// (sim.RunStream): when the workload admits it, arrivals are
+	// drawn from an ArrivalSource one job at a time and the trace is
+	// never materialized. Results are bit-identical to the
+	// materialized run.
+	Stream bool `json:"stream,omitempty"`
+	// RetainJobs sets sim.Options.RetainJobs: 0 keeps every
+	// JobMetrics (backwards compatible); N > 0 keeps only the last N
+	// and recycles engine task state at completion, so a streamed
+	// run's memory is independent of N jobs.
+	RetainJobs int `json:"retain_jobs,omitempty"`
 }
 
 // Scenario is one complete, serializable simulation setup: every

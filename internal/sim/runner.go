@@ -31,13 +31,24 @@ type Result struct {
 	// Sim is the drained engine, retained so callers can read
 	// instrumentation (per-hop timings, utilization).
 	Sim *Sim
+	// Stream holds the online accumulator of a streaming run (nil
+	// otherwise). Under bounded retention (Options.RetainJobs > 0) it
+	// is the complete summary record and Jobs holds only the
+	// retention window, in completion order; under full retention it
+	// supplements Jobs.
+	Stream *StreamStats
 }
 
 // TotalFlow is a convenience accessor.
 func (r *Result) TotalFlow() float64 { return r.Stats.TotalFlow }
 
-// AvgFlow returns the average flow time per job.
+// AvgFlow returns the average flow time per job. Under bounded
+// retention Jobs holds only a window, so the count comes from the
+// streaming accumulator.
 func (r *Result) AvgFlow() float64 {
+	if r.Stream != nil && r.Stream.Completed > 0 {
+		return r.Stats.TotalFlow / float64(r.Stream.Completed)
+	}
 	if len(r.Jobs) == 0 {
 		return 0
 	}
@@ -46,10 +57,15 @@ func (r *Result) AvgFlow() float64 {
 
 // LkNormFlow returns the ℓ_k norm of the per-job flow times — the
 // alternative objective the paper's conclusion raises (k=2 is the
-// fairness-sensitive variant; math.Inf(1) gives max flow).
+// fairness-sensitive variant; math.Inf(1) gives max flow). Under
+// bounded retention the norm comes from the accumulator's moment
+// sums, which cover k ∈ {1, 2, 3, +Inf} only (NaN otherwise).
 func (r *Result) LkNormFlow(k float64) float64 {
 	if math.IsInf(k, 1) {
 		return r.Stats.MaxFlow
+	}
+	if r.Stream != nil && len(r.Jobs) != r.Stream.Completed {
+		return r.Stream.LkNormFlow(k)
 	}
 	var s float64
 	for i := range r.Jobs {
@@ -145,6 +161,14 @@ func (s *Sim) injectTrace(trace *workload.Trace, asg Assigner) error {
 }
 
 func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
+	if s.stream != nil {
+		if s.stream.sinkErr != nil {
+			return nil, fmt.Errorf("sim: job sink: %w", s.stream.sinkErr)
+		}
+		if s.stream.recycle {
+			return s.streamResult(n)
+		}
+	}
 	res := &Result{Sim: s, Jobs: make([]JobMetrics, n)}
 	found := make([]bool, n)
 	for _, js := range s.Tasks() {
@@ -185,7 +209,99 @@ func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
 		st.Completed++
 	}
 	res.Stats = st
+	if s.stream != nil {
+		res.Stream = s.stream.acc.snapshot()
+	}
 	return res, nil
+}
+
+// RunStream simulates a streaming arrival source end to end: jobs
+// are drawn from the source one at a time (never materialized as a
+// Trace), dispatched immediately on release, and drained at the end.
+// With Options.RetainJobs > 0 the run's memory is independent of the
+// stream length. A run over NewTraceSource(tr) produces results
+// bit-identical to Run(t, tr, ...) under full retention.
+func RunStream(t *tree.Tree, src workload.ArrivalSource, asg Assigner, opts Options) (*Result, error) {
+	return RunStreamOn(New(t, opts), src, asg)
+}
+
+// RunStreamOn is RunStream on an existing engine (freshly created or
+// Reset), the steady-state entry point for repeated streaming runs.
+func RunStreamOn(s *Sim, src workload.ArrivalSource, asg Assigner) (*Result, error) {
+	n, err := ReplayStreamOn(s, src, asg)
+	if err != nil {
+		return nil, err
+	}
+	return collect(s.tree, s, n)
+}
+
+// ReplayStreamOn drives the streaming inject→drain cycle without
+// collecting a Result, returning the number of jobs drawn from the
+// source. Jobs are validated incrementally (dense IDs, sorted
+// releases, per-job validity) since there is no Trace to validate up
+// front. Streaming hooks force sequential execution; a plain
+// TraceSource with no hooks installed delegates to ReplayOn,
+// retaining the sharded-parallel fast path.
+func ReplayStreamOn(s *Sim, src workload.ArrivalSource, asg Assigner) (n int, err error) {
+	defer recoverInternal(&err)
+	if ts, ok := src.(*workload.TraceSource); ok && s.stream == nil {
+		tr := ts.Trace()
+		return len(tr.Jobs), ReplayOn(s, tr, asg)
+	}
+	if n, err = s.injectStream(src, asg); err != nil {
+		return n, err
+	}
+	if w := s.workerCount(); w > 1 {
+		// Reachable only when no streaming hooks are installed (hooks
+		// force workerCount()==1): a generator-fed full-retention run
+		// still drains its shards in parallel.
+		if err := s.drainParallel(w); err != nil {
+			return n, err
+		}
+	} else if err := s.Drain(); err != nil {
+		return n, err
+	}
+	if s.stream != nil && s.stream.sinkErr != nil {
+		return n, fmt.Errorf("sim: job sink: %w", s.stream.sinkErr)
+	}
+	return n, nil
+}
+
+// injectStream is the sequential dispatch loop of the streaming
+// path, mirroring injectTrace plus the incremental validation that
+// Trace.Validate would have done.
+func (s *Sim) injectStream(src workload.ArrivalSource, asg Assigner) (int, error) {
+	t := s.tree
+	a := &s.scratchArrival
+	n := 0
+	prev := 0.0
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if j.ID != n {
+			return n, fmt.Errorf("workload: job at position %d has ID %d (IDs must be dense)", n, j.ID)
+		}
+		if err := j.Validate(); err != nil {
+			return n, err
+		}
+		if j.Release < prev {
+			return n, fmt.Errorf("workload: releases not sorted at position %d", n)
+		}
+		prev = j.Release
+		if j.LeafSizes != nil && len(j.LeafSizes) != len(t.Leaves()) {
+			return n, fmt.Errorf("sim: job %d has %d leaf sizes for a %d-leaf tree", j.ID, len(j.LeafSizes), len(t.Leaves()))
+		}
+		s.AdvanceTo(j.Release)
+		*a = Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
+		leaf := asg.Assign(s.Query(), a)
+		if _, err := s.Inject(a, leaf); err != nil {
+			return n, fmt.Errorf("sim: assigner %q: %w", asg.Name(), err)
+		}
+		n++
+	}
+	return n, src.Err()
 }
 
 // RunPacketized simulates the paper's Section 2 variant in which a
@@ -196,6 +312,11 @@ func collect(t *tree.Tree, s *Sim, n int) (*Result, error) {
 // leaf assignment is still decided once per job at arrival.
 func RunPacketized(t *tree.Tree, trace *workload.Trace, asg Assigner, opts Options) (res *Result, err error) {
 	defer recoverInternal(&err)
+	if opts.RetainJobs > 0 || opts.Sink != nil {
+		// The streaming hooks count per-packet completions, which
+		// would corrupt per-job accounting.
+		return nil, fmt.Errorf("sim: RunPacketized does not support streaming retention or sinks")
+	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}

@@ -129,6 +129,11 @@ func (s *Sim) workerCount() int {
 	if w <= 1 {
 		return 1
 	}
+	if s.stream != nil {
+		// Streaming hooks (accumulator, sink, retention ring) must
+		// observe completions in a single global order.
+		return 1
+	}
 	if w > len(s.shards) {
 		w = len(s.shards)
 	}

@@ -168,6 +168,25 @@ type Options struct {
 	// nested cell-level and shard-level parallelism together never
 	// oversubscribe the -parallel budget.
 	WorkerTokens chan struct{}
+	// RetainJobs bounds how many per-job JobMetrics a run keeps in
+	// memory: 0 retains everything (backwards compatible), N > 0
+	// keeps only the last N completions in a ring and recycles each
+	// task's engine state the moment it completes, so memory is
+	// bounded by the peak number of concurrently active tasks instead
+	// of the trace length. Bounded retention trades introspection for
+	// memory: Tasks() stays empty, Stats sums accumulate in
+	// completion order (last-ulp float differences vs a
+	// full-retention run), the end-of-run schedule audit is skipped
+	// (it needs full task state), and execution is forced sequential
+	// (completions must be observed in one global order). Not
+	// supported by RunPacketized.
+	RetainJobs int
+	// Sink, when non-nil, receives every completed job's metrics in
+	// completion order (e.g. an NDJSONSink writing per-job records to
+	// disk), so the full record can live on disk instead of in RAM.
+	// Installing a sink forces sequential execution, like
+	// RetainJobs > 0. Not supported by RunPacketized.
+	Sink JobSink
 }
 
 // RecoveryPolicy selects the permanent-leaf-loss behavior.
@@ -268,6 +287,11 @@ type Sim struct {
 	ps bool
 	// migrations records recovery re-dispatches in time order.
 	migrations []Migration
+
+	// stream holds the streaming hooks (online accumulator, sink,
+	// retention ring); nil unless Options.RetainJobs or Options.Sink
+	// is set.
+	stream *streamState
 }
 
 // New creates an engine for the given tree.
@@ -350,6 +374,21 @@ func (s *Sim) applyOptions(opts Options) {
 	}
 	if opts.Instrument && s.pendingOn == nil {
 		s.pendingOn = make([][]*JobState, len(s.nodes))
+	}
+	if opts.RetainJobs < 0 {
+		panic(fmt.Sprintf("sim: Options.RetainJobs must be >= 0, got %d", opts.RetainJobs))
+	}
+	s.stream = nil
+	if opts.RetainJobs > 0 || opts.Sink != nil {
+		st := &streamState{retain: opts.RetainJobs, sink: opts.Sink, recycle: opts.RetainJobs > 0}
+		st.acc.PerLeaf = make([]LeafTally, len(s.tree.Leaves()))
+		for li, v := range s.tree.Leaves() {
+			st.acc.PerLeaf[li].Leaf = v
+		}
+		if st.retain > 0 {
+			st.ring = make([]JobMetrics, 0, st.retain)
+		}
+		s.stream = st
 	}
 }
 
@@ -581,7 +620,9 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 		// Parallel injection: slots were pre-sized by seq so workers
 		// write disjoint positions and injection order stays global.
 		s.tasks[js.seq] = js
-	} else {
+	} else if !s.recycling() {
+		// Bounded-retention streaming never populates the global task
+		// list: the task is recycled at completion instead.
 		s.tasks = append(s.tasks, js)
 	}
 	sh.activeTasks++
@@ -978,8 +1019,13 @@ func (s *Sim) finishDrain() error {
 		s.advanceShard(&s.shards[k], end)
 	}
 	s.now = end
-	if s.Active() != 0 {
+	if act := s.Active(); act != 0 {
 		dumps, total := dumpActive(s)
+		if total < act {
+			// Bounded-retention streaming keeps no global task list to
+			// dump; the shard accumulators' count is authoritative.
+			total = act
+		}
 		return &StuckError{Now: s.now, Active: total, Tasks: dumps}
 	}
 	if s.opts.SelfCheck {
@@ -989,7 +1035,9 @@ func (s *Sim) finishDrain() error {
 	}
 	// With full instrumentation on, every drained run audits its own
 	// recorded schedule, so test suites double as conformance tests.
-	if s.opts.Instrument && s.opts.RecordSlices && !s.ps {
+	// Bounded-retention streaming recycles task state at completion,
+	// which the auditor needs, so it is exempt.
+	if s.opts.Instrument && s.opts.RecordSlices && !s.ps && !s.recycling() {
 		if rep := s.Audit(); !rep.OK() {
 			return &AuditError{Report: rep}
 		}
@@ -1227,6 +1275,12 @@ func (s *Sim) handleFinish(v tree.NodeID) {
 		sh.activeTasks--
 		li := s.tree.LeafIndex(js.Leaf)
 		s.assignedRemove(li, js)
+		if s.stream != nil {
+			// Streaming hooks: accumulate/emit the metrics and, in
+			// recycle mode, return js to the freelist (it is not
+			// referenced again below).
+			s.streamComplete(sh, js, li)
+		}
 	} else {
 		w := js.Path[js.Hop]
 		js.OrigOnCur = s.sizeOn(js, js.Hop)
@@ -1351,10 +1405,21 @@ func (s *Sim) totals() (fracFlow, activeIntegral float64, events int64) {
 	return fracFlow, activeIntegral, events
 }
 
-// Stats computes summary statistics of the run so far.
+// Stats computes summary statistics of the run so far. In
+// bounded-retention streaming mode the completion-dependent fields
+// come from the online accumulator (there is no task list to walk).
 func (s *Sim) Stats() Stats {
 	var st Stats
 	st.FracFlow, st.ActiveIntegral, st.Events = s.totals()
+	if s.recycling() {
+		a := &s.stream.acc
+		st.Completed = a.Completed
+		st.TotalFlow = a.TotalFlow
+		st.WeightedFlow = a.WeightedFlow
+		st.MaxFlow = a.MaxFlow
+		st.Makespan = a.Makespan
+		return st
+	}
 	for _, js := range s.tasks {
 		if js == nil || !js.Completed {
 			continue

@@ -1,0 +1,327 @@
+// Streaming arrival sources: the online counterpart of the trace
+// generators. An ArrivalSource yields release-ordered jobs one at a
+// time, so a million-job run never materializes a []Job. Each
+// generator draws from the rng in exactly the per-job order of its
+// materializing twin (Poisson, Bursty, Adversarial), which makes a
+// streamed workload bit-identical to the materialized one under the
+// single-rng-stream discipline of the scenario layer.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"treesched/internal/rng"
+)
+
+// ArrivalSource yields the jobs of a workload in release order, one
+// at a time. Next returns the next job and true, or a zero Job and
+// false when the source is exhausted or failed; after a false, Err
+// distinguishes clean exhaustion (nil) from a source error. Sources
+// are single-use: once drained they stay drained.
+type ArrivalSource interface {
+	Next() (Job, bool)
+	Err() error
+}
+
+// TraceSource adapts a materialized *Trace to the ArrivalSource
+// interface, so every consumer of sources also accepts traces.
+type TraceSource struct {
+	tr *Trace
+	i  int
+}
+
+// NewTraceSource wraps a trace. The trace is not copied; it must not
+// be mutated while the source is in use.
+func NewTraceSource(tr *Trace) *TraceSource { return &TraceSource{tr: tr} }
+
+func (s *TraceSource) Next() (Job, bool) {
+	if s.i >= len(s.tr.Jobs) {
+		return Job{}, false
+	}
+	j := s.tr.Jobs[s.i]
+	s.i++
+	return j, true
+}
+
+func (s *TraceSource) Err() error { return nil }
+
+// Trace returns the underlying trace. Consumers that can replay a
+// whole trace more efficiently (e.g. the sharded parallel engine) use
+// this to unwrap the adapter.
+func (s *TraceSource) Trace() *Trace { return s.tr }
+
+// PoissonSource streams the exact job sequence of Poisson: per job it
+// draws one exponential interarrival then one size sample.
+type PoissonSource struct {
+	r    *rng.Rand
+	cfg  GenConfig
+	rate float64
+	t    float64
+	i    int
+}
+
+// NewPoissonSource validates cfg exactly like Poisson and returns the
+// streaming generator.
+func NewPoissonSource(r *rng.Rand, cfg GenConfig) (*PoissonSource, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &PoissonSource{r: r, cfg: cfg, rate: cfg.Load * cfg.Capacity / cfg.Size.Mean()}, nil
+}
+
+func (s *PoissonSource) Next() (Job, bool) {
+	if s.i >= s.cfg.N {
+		return Job{}, false
+	}
+	s.t += s.r.Exp(s.rate)
+	j := Job{ID: s.i, Release: s.t, Size: s.cfg.Size.Sample(s.r)}
+	s.i++
+	return j, true
+}
+
+func (s *PoissonSource) Err() error { return nil }
+
+// BurstySource streams the exact job sequence of Bursty: one
+// exponential draw at each burst start, then per job a fixed jitter
+// and one size sample.
+type BurstySource struct {
+	r        *rng.Rand
+	cfg      GenConfig
+	rate     float64
+	burstLen int
+	pos      int // position within the current burst
+	t        float64
+	i        int
+}
+
+// NewBurstySource validates like Bursty and returns the streaming
+// generator.
+func NewBurstySource(r *rng.Rand, cfg GenConfig, burstLen int) (*BurstySource, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if burstLen < 1 {
+		return nil, errors.New("workload: burstLen must be >= 1")
+	}
+	rate := cfg.Load * cfg.Capacity / cfg.Size.Mean() / float64(burstLen)
+	return &BurstySource{r: r, cfg: cfg, rate: rate, burstLen: burstLen}, nil
+}
+
+func (s *BurstySource) Next() (Job, bool) {
+	if s.i >= s.cfg.N {
+		return Job{}, false
+	}
+	if s.pos == 0 {
+		s.t += s.r.Exp(s.rate)
+	}
+	s.t += 1e-9
+	j := Job{ID: s.i, Release: s.t, Size: s.cfg.Size.Sample(s.r)}
+	s.i++
+	s.pos++
+	if s.pos == s.burstLen {
+		s.pos = 0
+	}
+	return j, true
+}
+
+func (s *BurstySource) Err() error { return nil }
+
+// AdversarialSource streams the exact job sequence of Adversarial.
+// The pattern is deterministic (no rng draws), so only the phase
+// machine needs to match: one big job, a flood of bigSize/2 unit
+// jobs, then a bigSize/4 gap.
+type AdversarialSource struct {
+	n         int
+	big       float64
+	floodLeft int
+	t         float64
+	i         int
+}
+
+// NewAdversarialSource returns the streaming generator for n jobs
+// with the given big-job size.
+func NewAdversarialSource(n int, bigSize float64) *AdversarialSource {
+	return &AdversarialSource{n: n, big: bigSize}
+}
+
+func (s *AdversarialSource) Next() (Job, bool) {
+	if s.i >= s.n {
+		return Job{}, false
+	}
+	var j Job
+	s.t += 1e-9
+	if s.floodLeft == 0 {
+		j = Job{ID: s.i, Release: s.t, Size: s.big}
+		s.floodLeft = int(s.big / 2)
+	} else {
+		j = Job{ID: s.i, Release: s.t, Size: 1}
+		s.floodLeft--
+	}
+	if s.floodLeft == 0 {
+		s.t += s.big / 4
+	}
+	s.i++
+	return j, true
+}
+
+func (s *AdversarialSource) Err() error { return nil }
+
+// RelatedSource applies MakeRelated per job: every yielded job gets
+// LeafSizes[i] = Size/leafSpeeds[i]. The transform is rng-free, so
+// wrapping preserves bit-identity with the materialized pipeline.
+type RelatedSource struct {
+	src    ArrivalSource
+	speeds []float64
+}
+
+// NewRelatedSource validates the speeds exactly like MakeRelated.
+func NewRelatedSource(src ArrivalSource, leafSpeeds []float64) (*RelatedSource, error) {
+	if len(leafSpeeds) == 0 {
+		return nil, errors.New("workload: MakeRelated needs at least one leaf speed")
+	}
+	for _, s := range leafSpeeds {
+		if s <= 0 {
+			return nil, fmt.Errorf("workload: non-positive leaf speed %v", s)
+		}
+	}
+	return &RelatedSource{src: src, speeds: leafSpeeds}, nil
+}
+
+func (s *RelatedSource) Next() (Job, bool) {
+	j, ok := s.src.Next()
+	if !ok {
+		return Job{}, false
+	}
+	j.LeafSizes = make([]float64, len(s.speeds))
+	for li, sp := range s.speeds {
+		j.LeafSizes[li] = j.Size / sp
+	}
+	return j, true
+}
+
+func (s *RelatedSource) Err() error { return s.src.Err() }
+
+// ClassRoundSource applies RoundTraceToClasses per job: router and
+// leaf sizes are rounded up to powers of (1+eps). Rng-free.
+type ClassRoundSource struct {
+	src ArrivalSource
+	eps float64
+}
+
+// NewClassRoundSource wraps src; eps must be positive (RoundToClass
+// panics otherwise, matching RoundTraceToClasses).
+func NewClassRoundSource(src ArrivalSource, eps float64) *ClassRoundSource {
+	return &ClassRoundSource{src: src, eps: eps}
+}
+
+func (s *ClassRoundSource) Next() (Job, bool) {
+	j, ok := s.src.Next()
+	if !ok {
+		return Job{}, false
+	}
+	j.Size = RoundToClass(j.Size, s.eps)
+	for li := range j.LeafSizes {
+		j.LeafSizes[li] = RoundToClass(j.LeafSizes[li], s.eps)
+	}
+	return j, true
+}
+
+func (s *ClassRoundSource) Err() error { return s.src.Err() }
+
+// Collect drains a source into a Trace (no validation; generators
+// emit valid traces by construction and consumers validate on use).
+// Mostly for tests and fallback paths.
+func Collect(src ArrivalSource) (*Trace, error) {
+	tr := &Trace{}
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		tr.Jobs = append(tr.Jobs, j)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// StreamNDJSON drains a source to w as newline-delimited JSON — one
+// compact Job object per line — accumulating TraceStats online so a
+// million-job trace is written without ever holding a []Job.
+func StreamNDJSON(src ArrivalSource, w io.Writer) (TraceStats, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var st TraceStats
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(&j); err != nil {
+			return st, fmt.Errorf("workload: encoding job %d: %w", j.ID, err)
+		}
+		st.Jobs++
+		st.TotalWork += j.Size
+		st.MeanSize += j.Size
+		if j.Size > st.MaxSize {
+			st.MaxSize = j.Size
+		}
+		st.Span = j.Release // releases are sorted: the last one is the span
+		if j.LeafSizes != nil {
+			st.Unrelated = true
+		}
+		if j.Weight > 0 && j.Weight != 1 {
+			st.Weighted = true
+		}
+	}
+	if err := src.Err(); err != nil {
+		return st, err
+	}
+	if st.Jobs > 0 {
+		st.MeanSize /= float64(st.Jobs)
+	}
+	if st.Jobs > 1 {
+		st.MeanInterval = st.Span / float64(st.Jobs-1)
+	}
+	if st.Span > 0 {
+		st.OfferedPerSec = st.TotalWork / st.Span
+	}
+	return st, bw.Flush()
+}
+
+// NDJSONSource streams jobs back from the newline-delimited form
+// written by StreamNDJSON. Per-job validity is the consumer's
+// business (the engine's stream injector validates incrementally).
+type NDJSONSource struct {
+	dec *json.Decoder
+	err error
+	i   int
+}
+
+// NewNDJSONSource reads one Job object per line (any JSON value
+// stream works — the decoder skips interleaving whitespace).
+func NewNDJSONSource(r io.Reader) *NDJSONSource {
+	return &NDJSONSource{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+func (s *NDJSONSource) Next() (Job, bool) {
+	if s.err != nil {
+		return Job{}, false
+	}
+	var j Job
+	if err := s.dec.Decode(&j); err != nil {
+		if err != io.EOF {
+			s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
+		}
+		return Job{}, false
+	}
+	s.i++
+	return j, true
+}
+
+func (s *NDJSONSource) Err() error { return s.err }

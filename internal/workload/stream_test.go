@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"treesched/internal/rng"
+)
+
+// drain collects a source, failing the test on a source error.
+func drain(t *testing.T, src ArrivalSource) []Job {
+	t.Helper()
+	tr, err := Collect(src)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return tr.Jobs
+}
+
+func TestPoissonSourceMatchesPoisson(t *testing.T) {
+	cfg := GenConfig{N: 500, Size: ClassRounded{Base: UniformSize{1, 16}, Eps: 0.5}, Load: 0.9, Capacity: 2}
+	want, err := Poisson(rng.New(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewPoissonSource(rng.New(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, src); !reflect.DeepEqual(got, want.Jobs) {
+		t.Fatal("streamed Poisson jobs differ from materialized trace")
+	}
+	// Exhausted sources stay exhausted.
+	if _, ok := src.Next(); ok {
+		t.Fatal("Next after exhaustion returned a job")
+	}
+}
+
+func TestBurstySourceMatchesBursty(t *testing.T) {
+	// 503 is deliberately not a multiple of the burst length: the last
+	// burst is truncated in both implementations.
+	for _, burst := range []int{1, 4, 7} {
+		cfg := GenConfig{N: 503, Size: BimodalSize{Small: 1, Big: 32, PBig: 0.1}, Load: 0.8, Capacity: 3}
+		want, err := Bursty(rng.New(11), cfg, burst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewBurstySource(rng.New(11), cfg, burst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drain(t, src); !reflect.DeepEqual(got, want.Jobs) {
+			t.Fatalf("burst=%d: streamed Bursty jobs differ from materialized trace", burst)
+		}
+	}
+	if _, err := NewBurstySource(rng.New(1), GenConfig{N: 1, Size: UniformSize{1, 2}, Load: 1}, 0); err == nil {
+		t.Fatal("NewBurstySource accepted burstLen 0")
+	}
+}
+
+func TestAdversarialSourceMatchesAdversarial(t *testing.T) {
+	// bigSize 1.5 exercises the flood==0 edge (int(1.5/2) == 0): the
+	// pattern degenerates to big jobs separated by big/4 gaps.
+	for _, big := range []float64{32, 5, 1.5} {
+		want := Adversarial(rng.New(1), 200, big)
+		src := NewAdversarialSource(200, big)
+		if got := drain(t, src); !reflect.DeepEqual(got, want.Jobs) {
+			t.Fatalf("bigSize=%g: streamed Adversarial jobs differ from materialized trace", big)
+		}
+	}
+}
+
+func TestTraceSourceRoundTrip(t *testing.T) {
+	tr, err := Poisson(rng.New(3), GenConfig{N: 50, Size: UniformSize{1, 4}, Load: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewTraceSource(tr)
+	if src.Trace() != tr {
+		t.Fatal("Trace() does not return the wrapped trace")
+	}
+	if got := drain(t, src); !reflect.DeepEqual(got, tr.Jobs) {
+		t.Fatal("TraceSource jobs differ from the wrapped trace")
+	}
+}
+
+func TestWrappedSourcesMatchTraceTransforms(t *testing.T) {
+	cfg := GenConfig{N: 120, Size: UniformSize{1, 16}, Load: 0.9, Capacity: 2}
+	speeds := []float64{1, 2, 0.5, 4}
+
+	want, err := Poisson(rng.New(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MakeRelated(want, speeds); err != nil {
+		t.Fatal(err)
+	}
+	RoundTraceToClasses(want, 0.5)
+
+	base, err := NewPoissonSource(rng.New(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := NewRelatedSource(base, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewClassRoundSource(rel, 0.5)
+	if got := drain(t, src); !reflect.DeepEqual(got, want.Jobs) {
+		t.Fatal("wrapped related+rounded stream differs from trace transforms")
+	}
+
+	if _, err := NewRelatedSource(base, nil); err == nil {
+		t.Fatal("NewRelatedSource accepted empty speeds")
+	}
+	if _, err := NewRelatedSource(base, []float64{1, -1}); err == nil {
+		t.Fatal("NewRelatedSource accepted a non-positive speed")
+	}
+}
+
+func TestStreamNDJSONRoundTrip(t *testing.T) {
+	cfg := GenConfig{N: 80, Size: UniformSize{1, 16}, Load: 0.9, Capacity: 2}
+	want, err := Poisson(rng.New(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	src, err := NewPoissonSource(rng.New(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StreamNDJSON(src, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := want.Stats(); st != ws {
+		t.Fatalf("online stats %+v differ from trace stats %+v", st, ws)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != cfg.N {
+		t.Fatalf("NDJSON has %d lines, want %d", lines, cfg.N)
+	}
+
+	back, err := Collect(NewNDJSONSource(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Jobs, want.Jobs) {
+		t.Fatal("NDJSON round trip altered the jobs")
+	}
+}
+
+func TestNDJSONSourceError(t *testing.T) {
+	src := NewNDJSONSource(strings.NewReader("{\"ID\":0,\"Size\":1}\nnot json\n"))
+	if _, ok := src.Next(); !ok {
+		t.Fatal("first line should decode")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("garbage line should stop the source")
+	}
+	if src.Err() == nil {
+		t.Fatal("Err() should report the decode failure")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("failed source should stay stopped")
+	}
+}

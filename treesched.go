@@ -1,6 +1,8 @@
 package treesched
 
 import (
+	"io"
+
 	"treesched/internal/core"
 	"treesched/internal/faults"
 	"treesched/internal/lowerbound"
@@ -116,7 +118,26 @@ type (
 	BimodalSize  = workload.BimodalSize
 	ParetoSize   = workload.ParetoSize
 	ClassRounded = workload.ClassRounded
+	// ArrivalSource yields a release-ordered job stream one job at a
+	// time, so million-job workloads never need materializing.
+	ArrivalSource = workload.ArrivalSource
+	// TraceSource adapts a materialized Trace to an ArrivalSource.
+	TraceSource = workload.TraceSource
 )
+
+// NewTraceSource wraps a materialized trace as an ArrivalSource.
+func NewTraceSource(tr *Trace) *TraceSource { return workload.NewTraceSource(tr) }
+
+// PoissonSource is the streaming counterpart of PoissonTrace: the
+// identical job sequence (bit for bit), drawn one job at a time.
+func PoissonSource(seed uint64, n int, load float64, t *Tree) (ArrivalSource, error) {
+	return workload.NewPoissonSource(rng.New(seed), workload.GenConfig{
+		N:        n,
+		Size:     workload.ClassRounded{Base: workload.UniformSize{Lo: 1, Hi: 16}, Eps: 0.5},
+		Load:     load,
+		Capacity: float64(len(t.RootAdjacent())),
+	})
+}
 
 // PoissonTrace generates n jobs with Poisson arrivals calibrated to
 // the given load on t's root-adjacent capacity, with sizes rounded to
@@ -204,6 +225,45 @@ func Run(t *Tree, tr *Trace, asg Assigner, opts Options) (*Result, error) {
 // pipelined variant).
 func RunPacketized(t *Tree, tr *Trace, asg Assigner, opts Options) (*Result, error) {
 	return sim.RunPacketized(t, tr, asg, opts)
+}
+
+// Streaming pipeline: run from an ArrivalSource instead of a Trace,
+// with online metrics (StreamStats), optional per-job sinks and
+// bounded retention (Options.RetainJobs) so memory stays independent
+// of the job count. Full-retention streamed runs are bit-identical to
+// their materialized counterparts.
+type (
+	// StreamStats is the online per-completion accumulator.
+	StreamStats = sim.StreamStats
+	// LeafTally is one leaf's share of a streamed run.
+	LeafTally = sim.LeafTally
+	// JobMetrics is one job's recorded outcome — the element type of
+	// Result.Jobs and the value handed to JobSink implementations.
+	JobMetrics = sim.JobMetrics
+	// JobSink receives every completed job's metrics in completion
+	// order (see Options.Sink).
+	JobSink = sim.JobSink
+	// NDJSONSink writes one JSON line per completed job.
+	NDJSONSink = sim.NDJSONSink
+)
+
+// NewNDJSONSink wraps w as a per-job NDJSON sink.
+func NewNDJSONSink(w io.Writer) *NDJSONSink { return sim.NewNDJSONSink(w) }
+
+// RunStream simulates an arrival stream on a fresh engine.
+func RunStream(t *Tree, src ArrivalSource, asg Assigner, opts Options) (*Result, error) {
+	return sim.RunStream(t, src, asg, opts)
+}
+
+// RunStreamOn simulates an arrival stream on an existing engine.
+func RunStreamOn(s *Sim, src ArrivalSource, asg Assigner) (*Result, error) {
+	return sim.RunStreamOn(s, src, asg)
+}
+
+// ReplayStreamOn drives the inject→drain cycle from a stream without
+// collecting per-job results; it returns the number of jobs injected.
+func ReplayStreamOn(s *Sim, src ArrivalSource, asg Assigner) (int, error) {
+	return sim.ReplayStreamOn(s, src, asg)
 }
 
 // Fault injection: deterministic node outages, brown-outs and

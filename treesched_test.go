@@ -208,3 +208,49 @@ func TestFacadeFaultyScenario(t *testing.T) {
 		t.Fatalf("completed %d/120 under brownouts", res.Stats.Completed)
 	}
 }
+
+func TestFacadeStreaming(t *testing.T) {
+	tr := treesched.FatTree(2, 2, 2)
+	trace, err := treesched.PoissonTrace(9, 400, 0.9, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := treesched.Run(tr, trace, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full retention: streamed from the generator, bit-identical.
+	src, err := treesched.PoissonSource(9, 400, 0.9, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := treesched.RunStream(tr, src, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats || len(got.Jobs) != len(want.Jobs) {
+		t.Fatalf("streamed stats %+v, want %+v", got.Stats, want.Stats)
+	}
+	for i := range got.Jobs {
+		if got.Jobs[i] != want.Jobs[i] {
+			t.Fatalf("job %d diverges: %+v vs %+v", i, got.Jobs[i], want.Jobs[i])
+		}
+	}
+
+	// Bounded retention: memory-independent run, same order-free stats.
+	bounded, err := treesched.RunStream(tr, treesched.NewTraceSource(trace),
+		treesched.NewGreedyIdentical(0.5), treesched.Options{RetainJobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Stream == nil || bounded.Stream.Completed != 400 {
+		t.Fatalf("stream accumulator %+v, want 400 completions", bounded.Stream)
+	}
+	if len(bounded.Jobs) != 8 {
+		t.Fatalf("retained %d jobs, want 8", len(bounded.Jobs))
+	}
+	if bounded.Stats.MaxFlow != want.Stats.MaxFlow || bounded.Stats.Makespan != want.Stats.Makespan {
+		t.Fatalf("bounded stats %+v diverge from %+v", bounded.Stats, want.Stats)
+	}
+}
