@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench bench-json bench-compare stream-smoke fuzz-smoke ci experiments examples clean
+.PHONY: all build vet test test-short test-race test-race-parallel bench bench-json bench-compare stream-smoke fuzz-smoke ci experiments examples clean
 
 all: build vet test test-race
 
@@ -21,17 +21,25 @@ test-short:
 test-race:
 	$(GO) test -race -short ./...
 
+# Deep race stress for the parallel engine paths (sharded advance,
+# parallel querying dispatch, sub-shard splitting, streaming): force 4
+# scheduler threads so the worker pool really interleaves, even on
+# boxes where GOMAXPROCS would default lower.
+test-race-parallel:
+	GOMAXPROCS=4 $(GO) test -race -count=1 \
+		-run 'Shard|Split|Stream|Parallel|FStat' ./internal/sim ./internal/scenario
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_4.json
+	$(GO) run ./cmd/bench -out BENCH_5.json
 
 # Rerun the kernels and fail (exit 3) if any regressed >25% vs the
 # checked-in record.
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_4.json
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_5.json
 
 # Assert the constant-memory streaming property: a 1M-job bounded-
 # retention run must keep its peak heap under a fixed ceiling and flat
@@ -50,7 +58,7 @@ fuzz-smoke:
 # Everything CI needs: build, vet, race-clean short tests, a smoke
 # run of the benchmark harness (fast benchtime, throwaway output), and
 # the constant-memory streaming check.
-ci: build vet test-race stream-smoke
+ci: build vet test-race test-race-parallel stream-smoke
 	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_ci.json
 
 # Regenerate EXPERIMENTS.md (sequential so B4 throughput is clean).

@@ -57,8 +57,8 @@ func (c GreedyConfig) distanceWeight() float64 {
 // the second charges the job for every lower-priority job it delays.
 func F(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
 	r := q.Tree().Branch(v)
-	return q.AvailVolumeHigher(r, a.Size, a.Release, a.ID) + a.Size +
-		a.Size*float64(q.AvailCountLarger(r, a.Size))
+	volHigher, countLarger := q.AvailStats(r, a.Size, a.Release, a.ID)
+	return volHigher + a.Size + a.Size*float64(countLarger)
 }
 
 // FPrime computes the paper's F'(j,v) for unrelated endpoints:

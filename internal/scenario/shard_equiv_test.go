@@ -11,17 +11,22 @@ import (
 
 // TestShardedScenarioEquivalence is the property test for the
 // subtree-sharded engine: across ~100 randomized scenarios (topology ×
-// policy × assigner × fault plan × seed) the sharded engine must
-// reproduce the sequential engine bit for bit — per-job metrics,
-// summary stats, slice logs, and even error strings for runs that
-// legitimately fail (leaf loss under hold). Under `go test -race` this
-// doubles as the data-race stress for the worker pool.
+// policy × assigner × fault plan × engine variant × seed) the sharded
+// engine must reproduce the sequential engine bit for bit — per-job
+// metrics, summary stats, slice logs, and even error strings for runs
+// that legitimately fail (leaf loss under hold). The assigner pool
+// includes the state-querying dispatchers (greedy, shadow, jsq,
+// leastvolume), so parallel querying dispatch is covered alongside
+// oblivious replay; the engine variants mix in the streaming pipeline
+// and sub-shard splitting. Under `go test -race` this doubles as the
+// data-race stress for the worker pool.
 func TestShardedScenarioEquivalence(t *testing.T) {
 	topos := []string{"fattree:4,1,2", "fattree:8,1,2", "fattree:2,2,2", "star:8", "caterpillar:4,2", "broomstick:6,2,2", "random:4,3,3"}
 	policies := []string{"sjf", "fifo", "srpt", "ps", "lcfs", "wsjf"}
-	assigners := []string{"greedy", "roundrobin", "random", "closest", "leastvolume", "minpath", "jsq"}
+	assigners := []string{"greedy", "shadow", "roundrobin", "random", "closest", "leastvolume", "minpath", "jsq"}
 	faultSpecs := []string{"", "", "faults=outages:3,6", "faults=brownouts:3,6,0.5",
 		"faults=leafloss:1,0.6 recovery=redispatch", "faults=leafloss:1,0.6 recovery=hold"}
+	variants := []string{"", "", "split=2", "stream", "stream split=3"}
 
 	r := rng.New(42)
 	pick := func(xs []string) string { return xs[int(r.Uint64()%uint64(len(xs)))] }
@@ -31,6 +36,9 @@ func TestShardedScenarioEquivalence(t *testing.T) {
 			pick(topos), pol, pick(assigners), i+1)
 		if fs := pick(faultSpecs); fs != "" {
 			line += " " + fs
+		}
+		if v := pick(variants); v != "" {
+			line += " " + v
 		}
 		if pol == "wsjf" {
 			line += " maxweight=4"

@@ -1,0 +1,203 @@
+// Per-node F-statistic snapshots: the mergeable aggregates behind the
+// paper's greedy dispatch rule. The F(j,v) terms an assigner queries —
+// AvailVolumeHigher, AvailCountLarger, AvailVolume — are sums over the
+// tasks available on one node, ordered by the SJF priority comparator.
+// Instead of rescanning the queue per arrival, each node keeps a
+// snapshot of its available set sorted by that comparator with prefix
+// aggregates. The first query seeds the sorted set with one full sort;
+// afterwards queue membership changes (push/remove at event
+// boundaries) maintain it incrementally — a task's sort key is fixed
+// between memberships, so a binary-searched insert or delete keeps the
+// order exact — and only mark the prefix aggregates dirty, which the
+// next query rebuilds in one comparator-free pass. Between membership
+// changes the only value that drifts is the running task's Remaining
+// (non-PS nodes progress one task at a time), which the query corrects
+// against the stored value, so answers are exact at every instant.
+//
+// Because the comparator is a total order, the qualifying set of
+// AvailVolumeHigher is a prefix of the snapshot and the qualifying set
+// of AvailCountLarger a suffix, turning both queries into one binary
+// search over the refreshed snapshot. Packets of one job share
+// (PrioOnCur, Release, ID), so equal-ID tasks are adjacent in the sort
+// and the distinct-job prefix counts de-duplicate them exactly.
+//
+// The snapshots decompose over the engine's shards: a node's snapshot
+// depends only on its own queue, so the per-subtree aggregates the
+// greedy rule reads are maintained shard-locally and any dispatch
+// prepass can refresh them without cross-shard state. Processor
+// sharing drains every available task at once, invalidating the
+// stored-Remaining correction, so PS mode bypasses the snapshots.
+package sim
+
+import (
+	"slices"
+	"sort"
+)
+
+// fstat is one node's snapshot. Zero value = inactive: nodes pay
+// nothing until first queried (only root-adjacent nodes and leaves are
+// queried by the shipped assigners).
+type fstat struct {
+	active bool
+	dirty  bool
+	// tasks is the node's available set sorted by the SJF priority
+	// comparator (highest priority first); stored[i] is tasks[i]'s
+	// Remaining captured at refresh time.
+	tasks  []*JobState
+	stored []float64
+	// prefixVol[i] = Σ stored[:i]; prefixCnt[i] = number of distinct
+	// job IDs among tasks[:i]. Both have len(tasks)+1 entries.
+	prefixVol []float64
+	prefixCnt []int32
+}
+
+// invalidate marks the prefix aggregates stale (the sorted set itself
+// stays valid; it is maintained by insert/remove).
+func (f *fstat) invalidate() { f.dirty = true }
+
+// insert adds js to the sorted set of an active snapshot. The prefix
+// aggregates go stale; the next query rebuilds them.
+func (f *fstat) insert(js *JobState) {
+	i := sort.Search(len(f.tasks), func(k int) bool {
+		t := f.tasks[k]
+		return !higherPriority(t.PrioOnCur, t.Release, t.ID, t.seq, js.PrioOnCur, js.Release, js.ID, js.seq)
+	})
+	f.tasks = append(f.tasks, nil)
+	copy(f.tasks[i+1:], f.tasks[i:])
+	f.tasks[i] = js
+	f.dirty = true
+}
+
+// remove deletes js from the sorted set of an active snapshot. The
+// binary search keys off js's current sort key; if a caller ever
+// mutated the key before removing (none do today), the linear fallback
+// keeps removal correct anyway.
+func (f *fstat) remove(js *JobState) {
+	i := sort.Search(len(f.tasks), func(k int) bool {
+		t := f.tasks[k]
+		return !higherPriority(t.PrioOnCur, t.Release, t.ID, t.seq, js.PrioOnCur, js.Release, js.ID, js.seq)
+	})
+	if i >= len(f.tasks) || f.tasks[i] != js {
+		i = slices.Index(f.tasks, js)
+		if i < 0 {
+			panic("sim: fstat: removing a task absent from the snapshot")
+		}
+	}
+	f.tasks = append(f.tasks[:i], f.tasks[i+1:]...)
+	f.dirty = true
+}
+
+// clear returns the snapshot to the inactive state (Reset), retaining
+// capacity.
+func (f *fstat) clear() {
+	f.active = false
+	f.dirty = true
+	f.tasks = f.tasks[:0]
+	f.stored = f.stored[:0]
+	f.prefixVol = f.prefixVol[:0]
+	f.prefixCnt = f.prefixCnt[:0]
+}
+
+// refreshFStat returns node v's snapshot, with its prefix aggregates
+// rebuilt if stale. The node is synced first so stored Remaining
+// values (and the later running correction) are anchored at the shard
+// clock. The first call on a node pays one full sort to seed the
+// sorted set; from then on insert/remove keep it ordered and a refresh
+// is a single comparator-free pass. Callers must not use it in PS
+// mode.
+func (s *Sim) refreshFStat(n *nodeState) *fstat {
+	s.sync(n.id)
+	f := &n.fsnap
+	if !f.active {
+		f.active = true
+		f.dirty = true
+		f.tasks = append(f.tasks[:0], n.avail.tasks()...)
+		slices.SortFunc(f.tasks, func(a, b *JobState) int {
+			if higherPriority(a.PrioOnCur, a.Release, a.ID, a.seq, b.PrioOnCur, b.Release, b.ID, b.seq) {
+				return -1
+			}
+			return 1 // comparator is total (seq is unique): no equal pairs
+		})
+	}
+	if !f.dirty {
+		return f
+	}
+	n2 := len(f.tasks)
+	if cap(f.prefixVol) < n2+1 {
+		f.stored = make([]float64, 0, cap(f.tasks))
+		f.prefixVol = make([]float64, 0, cap(f.tasks)+1)
+		f.prefixCnt = make([]int32, 0, cap(f.tasks)+1)
+	}
+	f.stored = f.stored[:n2]
+	f.prefixVol = f.prefixVol[:n2+1]
+	f.prefixCnt = f.prefixCnt[:n2+1]
+	f.prefixVol[0] = 0
+	f.prefixCnt[0] = 0
+	for i, js := range f.tasks {
+		f.stored[i] = js.Remaining
+		f.prefixVol[i+1] = f.prefixVol[i] + js.Remaining
+		c := f.prefixCnt[i]
+		if i == 0 || f.tasks[i-1].ID != js.ID {
+			c++
+		}
+		f.prefixCnt[i+1] = c
+	}
+	f.dirty = false
+	return f
+}
+
+// hypoRank returns the number of snapshot tasks with strictly higher
+// priority than a hypothetical not-yet-injected job (size, release,
+// id) — the length of the qualifying prefix of AvailVolumeHigher.
+func (f *fstat) hypoRank(size, release float64, id int) int {
+	return sort.Search(len(f.tasks), func(k int) bool {
+		t := f.tasks[k]
+		return !higherPriority(t.PrioOnCur, t.Release, t.ID, t.seq, size, release, id, maxSeq)
+	})
+}
+
+// runCorrection returns the running task's progress since the last
+// refresh (stored − current Remaining) when the running task falls in
+// the qualifying prefix [0, rank); membership only changes through
+// push/remove, which invalidate the snapshot, so between refreshes
+// exactly one task's Remaining can drift.
+func (f *fstat) runCorrection(n *nodeState, rank int) float64 {
+	r := n.running
+	if r == nil {
+		return 0
+	}
+	i := sort.Search(len(f.tasks), func(k int) bool {
+		t := f.tasks[k]
+		return !higherPriority(t.PrioOnCur, t.Release, t.ID, t.seq, r.PrioOnCur, r.Release, r.ID, r.seq)
+	})
+	if i >= rank || i >= len(f.tasks) || f.tasks[i] != r {
+		return 0
+	}
+	return r.Remaining - f.stored[i]
+}
+
+// volumeHigher answers AvailVolumeHigher from the snapshot.
+func (f *fstat) volumeHigher(n *nodeState, size, release float64, id int) float64 {
+	rank := f.hypoRank(size, release, id)
+	return f.prefixVol[rank] + f.runCorrection(n, rank)
+}
+
+// volume answers AvailVolume from the snapshot (the whole set
+// qualifies, so the correction always applies when a task runs).
+func (f *fstat) volume(n *nodeState) float64 {
+	rank := len(f.tasks)
+	return f.prefixVol[rank] + f.runCorrection(n, rank)
+}
+
+// countLarger answers AvailCountLarger from the snapshot: tasks with
+// PrioOnCur > size form a suffix of the priority order (PrioOnCur is
+// the comparator's first tier), and equal-ID packets never straddle
+// the boundary (they share PrioOnCur), so the distinct-job count of
+// the suffix is the difference of prefix counts.
+func (f *fstat) countLarger(size float64) int {
+	i := sort.Search(len(f.tasks), func(k int) bool {
+		return f.tasks[k].PrioOnCur > size
+	})
+	n := len(f.tasks)
+	return int(f.prefixCnt[n] - f.prefixCnt[i])
+}

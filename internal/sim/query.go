@@ -31,14 +31,21 @@ func (q *Query) Now() float64 { return q.s.now }
 // term of the paper's F(j,v) (S_{v,j} minus J_j itself; the caller
 // adds p_j for J_j's own membership in S).
 func (q *Query) AvailVolumeHigher(v tree.NodeID, size, release float64, id int) float64 {
-	q.s.sync(v)
-	var sum float64
-	for _, js := range q.s.nodes[v].avail.tasks() {
-		if higherPriority(js.PrioOnCur, js.Release, js.ID, js.seq, size, release, id, maxSeq) {
-			sum += js.Remaining
+	n := &q.s.nodes[v]
+	if q.s.ps {
+		// Processor sharing drains every available task at once, so the
+		// snapshot's stored-Remaining correction does not apply; scan.
+		q.s.sync(v)
+		var sum float64
+		for _, js := range n.avail.tasks() {
+			if higherPriority(js.PrioOnCur, js.Release, js.ID, js.seq, size, release, id, maxSeq) {
+				sum += js.Remaining
+			}
 		}
+		return sum
 	}
-	return sum
+	f := q.s.refreshFStat(n)
+	return f.volumeHigher(n, size, release, id)
 }
 
 // AvailCountLarger returns |{J_i available on v : p_{i,v} > size}| —
@@ -46,36 +53,74 @@ func (q *Query) AvailVolumeHigher(v tree.NodeID, size, release float64, id int) 
 // when split into packets; the de-duplication scratch lives on the
 // engine so the per-arrival assignment path stays allocation-free.
 func (q *Query) AvailCountLarger(v tree.NodeID, size float64) int {
-	count := 0
+	n := &q.s.nodes[v]
+	if !q.s.ps {
+		f := q.s.refreshFStat(n)
+		return f.countLarger(size)
+	}
+	// PS fallback: collect the qualifying IDs into the engine-owned
+	// scratch, sort it, and count adjacency groups — O(k log k) instead
+	// of the quadratic linear-probe the scratch used to be scanned
+	// with, still allocation-free.
 	seen := q.s.scratchIDs[:0]
-	for _, js := range q.s.nodes[v].avail.tasks() {
-		if js.PrioOnCur <= size {
-			continue
-		}
-		dup := false
-		for _, id := range seen {
-			if id == js.ID {
-				dup = true
-				break
-			}
-		}
-		if !dup {
+	for _, js := range n.avail.tasks() {
+		if js.PrioOnCur > size {
 			seen = append(seen, js.ID)
+		}
+	}
+	count := countDistinct(seen)
+	q.s.scratchIDs = seen[:0]
+	return count
+}
+
+// countDistinct sorts ids in place (insertion sort: the scratch is
+// small and often nearly sorted, and the routine must not allocate)
+// and counts distinct values.
+func countDistinct(ids []int) int {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
+	count := 0
+	for i, id := range ids {
+		if i == 0 || ids[i-1] != id {
 			count++
 		}
 	}
-	q.s.scratchIDs = seen[:0]
 	return count
 }
 
 // AvailVolume returns the total remaining volume available on v.
 func (q *Query) AvailVolume(v tree.NodeID) float64 {
-	q.s.sync(v)
-	var sum float64
-	for _, js := range q.s.nodes[v].avail.tasks() {
-		sum += js.Remaining
+	n := &q.s.nodes[v]
+	if q.s.ps {
+		q.s.sync(v)
+		var sum float64
+		for _, js := range n.avail.tasks() {
+			sum += js.Remaining
+		}
+		return sum
 	}
-	return sum
+	f := q.s.refreshFStat(n)
+	return f.volume(n)
+}
+
+// AvailStats returns AvailVolumeHigher and AvailCountLarger of v in
+// one call — the two node-local terms of the paper's F(j,v), answered
+// from a single snapshot refresh. The greedy assigners use this on
+// the root-adjacent node of every candidate branch.
+func (q *Query) AvailStats(v tree.NodeID, size, release float64, id int) (volHigher float64, countLarger int) {
+	n := &q.s.nodes[v]
+	if q.s.ps {
+		return q.AvailVolumeHigher(v, size, release, id), q.AvailCountLarger(v, size)
+	}
+	f := q.s.refreshFStat(n)
+	return f.volumeHigher(n, size, release, id), f.countLarger(size)
 }
 
 // AvailCount returns the number of jobs available on v.

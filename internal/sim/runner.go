@@ -109,13 +109,14 @@ func RunOn(s *Sim, trace *workload.Trace, asg Assigner) (*Result, error) {
 // engine this is the zero-allocation path measurement loops use; the
 // engine is left drained, so Stats()/Tasks() remain readable.
 //
-// With Options.Workers > 1 (and more than one root-child subtree) the
-// shard event loops run on a worker pool: an ObliviousAssigner lets
-// injection itself run per shard after a sequential dispatch prepass,
-// while a querying assigner dispatches sequentially (it must observe
-// engine state at each arrival, exactly as in a sequential run) and
-// only the drain is parallel. Either way the results are bit-identical
-// to the sequential engine's.
+// With Options.Workers > 1 (and more than one shard) the shard event
+// loops run on a worker pool: an ObliviousAssigner lets injection
+// itself run per shard after a sequential dispatch prepass, while a
+// querying assigner commits dispatches sequentially (it must observe
+// engine state at each arrival, exactly as in a sequential run) with
+// the event processing between arrivals and the drain fanned out per
+// shard. Either way the results are bit-identical to the sequential
+// engine's.
 func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) (err error) {
 	defer recoverInternal(&err)
 	if err := trace.Validate(); err != nil {
@@ -125,10 +126,7 @@ func ReplayOn(s *Sim, trace *workload.Trace, asg Assigner) (err error) {
 		if _, oblivious := asg.(ObliviousAssigner); oblivious {
 			return s.replayParallel(trace, asg, w)
 		}
-		if err := s.injectTrace(trace, asg); err != nil {
-			return err
-		}
-		return s.drainParallel(w)
+		return s.replayQueryingParallel(trace, asg, w)
 	}
 	if err := s.injectTrace(trace, asg); err != nil {
 		return err
@@ -275,6 +273,9 @@ func (s *Sim) injectStream(src workload.ArrivalSource, asg Assigner) (int, error
 	a := &s.scratchArrival
 	n := 0
 	prev := 0.0
+	// Generator-fed runs with no streaming hooks may still advance the
+	// shards in parallel between arrivals (hooks force workerCount 1).
+	w := s.workerCount()
 	for {
 		j, ok := src.Next()
 		if !ok {
@@ -293,7 +294,11 @@ func (s *Sim) injectStream(src workload.ArrivalSource, asg Assigner) (int, error
 		if j.LeafSizes != nil && len(j.LeafSizes) != len(t.Leaves()) {
 			return n, fmt.Errorf("sim: job %d has %d leaf sizes for a %d-leaf tree", j.ID, len(j.LeafSizes), len(t.Leaves()))
 		}
-		s.AdvanceTo(j.Release)
+		if w > 1 {
+			s.advanceAllTo(j.Release, w)
+		} else {
+			s.AdvanceTo(j.Release)
+		}
 		*a = Arrival{ID: j.ID, Release: j.Release, Size: j.Size, LeafSizes: j.LeafSizes, Origin: tree.NodeID(j.Origin), Weight: j.Weight}
 		leaf := asg.Assign(s.Query(), a)
 		if _, err := s.Inject(a, leaf); err != nil {
