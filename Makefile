@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race test-race-parallel bench bench-json bench-compare stream-smoke fuzz-smoke ci experiments examples clean
+.PHONY: all build vet test test-short test-race test-race-parallel bench bench-json bench-compare stream-smoke fleet-smoke fuzz-smoke ci experiments examples clean
 
 all: build vet test test-race
 
@@ -34,18 +34,24 @@ bench:
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_5.json
+	$(GO) run ./cmd/bench -out BENCH_6.json
 
 # Rerun the kernels and fail (exit 3) if any regressed >25% vs the
 # checked-in record.
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_5.json
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_6.json
 
 # Assert the constant-memory streaming property: a 1M-job bounded-
 # retention run must keep its peak heap under a fixed ceiling and flat
 # (within 2x) vs a 100k-job run. Exit 4 on failure.
 stream-smoke:
 	$(GO) run ./cmd/bench -stream-smoke
+
+# Assert fleet determinism: the same simulation key must produce a
+# byte-identical scorecard and per-tree NDJSON at Workers=1 and
+# Workers=4. Exit 5 on failure.
+fleet-smoke:
+	$(GO) run ./cmd/bench -fleet-smoke
 
 # Short fuzz pass over every fuzz target (~10s each); corpus seeds
 # alone run on plain `go test`, this digs a little deeper.
@@ -57,8 +63,8 @@ fuzz-smoke:
 
 # Everything CI needs: build, vet, race-clean short tests, a smoke
 # run of the benchmark harness (fast benchtime, throwaway output), and
-# the constant-memory streaming check.
-ci: build vet test-race test-race-parallel stream-smoke
+# the constant-memory streaming and fleet determinism checks.
+ci: build vet test-race test-race-parallel stream-smoke fleet-smoke
 	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_ci.json
 
 # Regenerate EXPERIMENTS.md (sequential so B4 throughput is clean).

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_5.json] [-seed 1] [-scale 0.05] [-quick]
-//	      [-compare BENCH_5.json] [-cpuprofile cpu.out] [-memprofile mem.out]
-//	      [-stream-smoke]
+//	bench [-out BENCH_6.json] [-seed 1] [-scale 0.05] [-quick]
+//	      [-compare BENCH_6.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-stream-smoke] [-fleet-smoke]
 //
 // -compare checks the fresh results against a previously written
 // baseline file and exits with status 3 if any kernel's ns/op
@@ -19,6 +19,11 @@
 // streamed run under bounded retention, failing (exit 4) if the peak
 // heap exceeds a fixed ceiling or is not flat (within 2x) relative to
 // a 100,000-job run.
+//
+// -fleet-smoke runs only the fleet determinism probe: the
+// fleet/jsq-4tree scenario at Workers=1 and Workers=4, failing (exit
+// 5) unless the scorecard JSON and every tree's per-job NDJSON are
+// byte-identical — the worker count must be a pure speed knob.
 //
 // Kernels:
 //
@@ -48,6 +53,17 @@
 //	engine/stream-1M   1,000,000 jobs streamed from the Poisson
 //	                   generator under bounded retention (RetainJobs=1):
 //	                   the constant-memory pipeline end to end
+//	fleet/jsq-4tree    the fleet co-simulation layer end to end: four
+//	                   fat trees behind a join-shortest-queue front
+//	                   door with per-tree brownouts, run at
+//	                   Workers = GOMAXPROCS
+//	rng_partition/legacy  generate a 2,000-job workload (sizes and
+//	                      weights) from a legacy partition, where every
+//	                      stream name aliases one shared state
+//	rng_partition/keyed   the same generation from a keyed partition
+//	                      (one derived stream per subsystem); the delta
+//	                      vs the legacy row is the derivation overhead,
+//	                      budgeted at 5%
 //	experiments/T1     full T1 grid (exercises Sweep fan-out)
 //	experiments/B3     speed-augmentation sweep (exercises Sweep)
 //
@@ -66,6 +82,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -156,7 +173,7 @@ type kernel struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "write JSON results to this file")
+	out := flag.String("out", "BENCH_6.json", "write JSON results to this file")
 	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
 	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
 	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
@@ -164,11 +181,15 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	smoke := flag.Bool("stream-smoke", false, "run only the constant-memory stream probe; exit 4 if the 1M-job peak heap breaks the ceiling or is not flat vs 100k jobs")
+	fltSmoke := flag.Bool("fleet-smoke", false, "run only the fleet determinism probe; exit 5 if the scorecard or any tree's NDJSON differs between Workers=1 and Workers=4")
 	testing.Init()
 	flag.Parse()
 
 	if *smoke {
 		os.Exit(streamSmoke(*seed))
+	}
+	if *fltSmoke {
+		os.Exit(fleetSmoke(*seed))
 	}
 
 	benchtime := "1s"
@@ -209,7 +230,7 @@ func main() {
 	}
 
 	doc := benchFile{
-		Schema:       "treesched-bench/5",
+		Schema:       "treesched-bench/6",
 		Go:           runtime.Version(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -621,6 +642,59 @@ func buildKernels(seed uint64, scale float64, streamEvents int64) ([]kernel, fun
 		kernel{name: "engine/skew-split", events: skewEvents, fn: skewFn(skewSplit)},
 	)
 
+	// The fleet kernel times the co-simulation layer end to end: one
+	// iteration generates the front-door workload, routes it across
+	// four trees, draws each tree's brownout plan, and runs the trees
+	// on GOMAXPROCS workers. Same scenario as the -fleet-smoke probe.
+	flSc := fleetScenario(seed)
+	flCalib, err := treesched.RunFleet(flSc, treesched.FleetOptions{Workers: maxWorkers})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var flEvents int64
+	for i := range flCalib.Trees {
+		flEvents += flCalib.Trees[i].Result.Stats.Events
+	}
+	ks = append(ks, kernel{
+		name:   "fleet/jsq-4tree",
+		events: flEvents,
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := treesched.RunFleet(flSc, treesched.FleetOptions{Workers: maxWorkers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	// The rng_partition rows time identical workload generation (2,000
+	// jobs with sizes and weights) from the two partition modes. Legacy
+	// aliases every stream name to one shared state; keyed lazily
+	// derives an independent stream per subsystem name. The keyed/legacy
+	// ratio is the derivation overhead, budgeted at 5%.
+	genWL := treesched.ScenarioWorkload{
+		N: 2000, Size: treesched.NewSpec("uniform", 1, 16), Load: 0.95, Capacity: 2, MaxWeight: 5,
+	}
+	partitionFn := func(mk func() *treesched.PartitionedRNG) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := genWL.GenerateRNG(mk()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	ks = append(ks,
+		kernel{name: "rng_partition/legacy", fn: partitionFn(func() *treesched.PartitionedRNG {
+			return treesched.NewLegacyRNG(seed + 61)
+		})},
+		kernel{name: "rng_partition/keyed", fn: partitionFn(func() *treesched.PartitionedRNG {
+			return treesched.NewPartitionedRNG(treesched.SimulationKey(seed + 61))
+		})},
+	)
+
 	scalingTable := func(events int64, fn func(int) func(b *testing.B)) func() []scalingRow {
 		return func() []scalingRow {
 			var rows []scalingRow
@@ -802,6 +876,64 @@ func streamSmoke(seed uint64) int {
 	}
 	if code == 0 {
 		fmt.Fprintln(os.Stderr, "bench: stream smoke OK: peak heap is flat in the job count")
+	}
+	return code
+}
+
+// fleetScenario is the fixed fleet workload shared by the
+// fleet/jsq-4tree kernel and the -fleet-smoke probe: four fat trees
+// behind a join-shortest-queue front door, each drawing its own
+// brownout plan from its tree-scoped stream.
+func fleetScenario(seed uint64) *treesched.Scenario {
+	return &treesched.Scenario{
+		Topology: treesched.NewSpec("fattree", 2, 2, 2),
+		Workload: treesched.ScenarioWorkload{
+			N: 4000, Size: treesched.NewSpec("uniform", 1, 16), ClassEps: 0.5, Load: 0.9,
+		},
+		Seed:   seed + 59,
+		Faults: &treesched.ScenarioFaults{Plan: treesched.NewSpec("brownouts", 2, 20, 0.5)},
+		Fleet:  &treesched.ScenarioFleet{Trees: 4, Policy: "jsq"},
+	}
+}
+
+// fleetSmoke is the -fleet-smoke mode: assert that the worker count is
+// a pure speed knob by running the same fleet key at Workers=1 and
+// Workers=4 and demanding byte-identical output. Returns the process
+// exit code.
+func fleetSmoke(seed uint64) int {
+	run := func(workers int) (card []byte, nd [][]byte) {
+		res, err := treesched.RunFleet(fleetScenario(seed), treesched.FleetOptions{Workers: workers})
+		if err != nil {
+			fatal(err)
+		}
+		var cb bytes.Buffer
+		if err := res.Scorecard.WriteJSON(&cb); err != nil {
+			fatal(err)
+		}
+		for i := range res.Trees {
+			var b bytes.Buffer
+			if err := res.Trees[i].WriteNDJSON(&b); err != nil {
+				fatal(err)
+			}
+			nd = append(nd, b.Bytes())
+		}
+		return cb.Bytes(), nd
+	}
+	card1, nd1 := run(1)
+	card4, nd4 := run(4)
+	code := 0
+	if !bytes.Equal(card1, card4) {
+		fmt.Fprintln(os.Stderr, "bench: fleet smoke FAIL: scorecard differs between Workers=1 and Workers=4")
+		code = 5
+	}
+	for i := range nd1 {
+		if !bytes.Equal(nd1[i], nd4[i]) {
+			fmt.Fprintf(os.Stderr, "bench: fleet smoke FAIL: tree %d NDJSON differs between Workers=1 and Workers=4\n", i)
+			code = 5
+		}
+	}
+	if code == 0 {
+		fmt.Fprintf(os.Stderr, "bench: fleet smoke OK: scorecard and %d trees' NDJSON byte-identical at Workers=1 and Workers=4\n", len(nd1))
 	}
 	return code
 }

@@ -10,6 +10,8 @@
 //	          [-stream] [-retain 1000]
 //	treesched -scenario run.json            # or a compact one-liner file
 //	treesched -topo star:4 -n 500 -dump-scenario > run.json
+//	treesched -topo fattree:2,2,2 -n 4000 -fleet 4 -fleetpolicy jsq \
+//	          [-faults brownouts:2,20,0.5] [-scorecard card.json]
 //
 // The individual flags assemble a scenario.Scenario; -scenario loads
 // one from a file (JSON or the compact one-line form) instead, and
@@ -25,6 +27,11 @@
 // Policies: sjf | fifo | srpt | lcfs | ps | wsjf.
 // Fault plans: outages:count,dur | brownouts:count,dur,factor |
 // leafloss:count,frac.
+//
+// -fleet N runs N copies of the tree (or a scenario's fleet section)
+// behind a front-door router instead of a single instance; fault
+// plans are then drawn independently per tree. Fleet routing
+// policies: rr | jsq | local.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"runtime"
 
 	"treesched/internal/core"
+	"treesched/internal/fleet"
 	"treesched/internal/lowerbound"
 	"treesched/internal/metrics"
 	"treesched/internal/scenario"
@@ -76,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retain := fs.Int("retain", 0, "keep only the last N per-job records and recycle engine state at each completion: memory becomes independent of -n (0 = keep all)")
 	scenFile := fs.String("scenario", "", "load the scenario from this file (JSON or compact form) instead of the individual flags")
 	dump := fs.Bool("dump-scenario", false, "print the scenario as JSON and exit without running")
+	fleetN := fs.Int("fleet", 0, "run a fleet of N tree instances behind a front-door router (0 = single tree)")
+	fleetPolicy := fs.String("fleetpolicy", "", "cross-tree routing policy: rr | jsq | local (implies -fleet with a scenario fleet section)")
+	fleetWorkers := fs.Int("fleetworkers", 0, "trees simulated concurrently in a fleet run (0 = auto; results identical at any value)")
+	scorecardOut := fs.String("scorecard", "", "write the fleet scorecard as JSON to this file")
 	var shards int
 	const shardsHelp = "subtree-shard worker count: 0 = auto (GOMAXPROCS), 1 = sequential (results are identical either way)"
 	fs.IntVar(&shards, "shards", 1, shardsHelp)
@@ -183,6 +195,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		sc.Faults.Recovery = *recovery
 	}
+	if *fleetN > 0 {
+		if sc.Fleet == nil {
+			sc.Fleet = &scenario.FleetSpec{}
+		}
+		sc.Fleet.Trees = *fleetN
+	}
+	if *fleetPolicy != "" {
+		if sc.Fleet == nil {
+			return fail(fmt.Errorf("-fleetpolicy needs -fleet (or a scenario with a fleet section)"))
+		}
+		sc.Fleet.Policy = *fleetPolicy
+	}
 	if sc.Engine.RetainJobs > 0 {
 		// Bounded retention discards the per-task state these reports
 		// are built from (full slice/task introspection, per-job lemma
@@ -201,6 +225,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		return 0
+	}
+	if sc.Fleet != nil {
+		singleTree := []struct {
+			name string
+			set  bool
+		}{
+			{"-render", *render}, {"-gantt", *gantt}, {"-audit", *audit},
+			{"-checklemmas", *checkLemmas}, {"-trace", *traceOut != ""},
+			{"-result", *resultOut != ""}, {"-dot", *dot != ""},
+		}
+		for _, f := range singleTree {
+			if f.set {
+				return fail(fmt.Errorf("%s is a single-tree report (drop it for fleet runs)", f.name))
+			}
+		}
+		return runFleet(sc, *fleetWorkers, *scorecardOut, stdout, fail)
 	}
 
 	in, err := sc.Build()
@@ -346,6 +386,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			write = res.WriteNDJSON
 		}
 		if err := write(f); err != nil {
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
+}
+
+// runFleet executes a fleet scenario and prints the scorecard as a
+// per-tree table plus fleet totals.
+func runFleet(sc *scenario.Scenario, workers int, scorecardOut string, stdout io.Writer, fail func(error) int) int {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res, err := fleet.Run(sc, fleet.Options{Workers: workers})
+	if err != nil {
+		return fail(err)
+	}
+	card := &res.Scorecard
+	fmt.Fprintf(stdout, "fleet           %d trees, policy %s, seed %d\n", card.Trees, card.Policy, card.Seed)
+	fmt.Fprintf(stdout, "front door      %d jobs routed\n", card.Jobs)
+	for _, row := range card.PerTree {
+		line := fmt.Sprintf("tree %-3d        %-18s %6d jobs  flow %.4g  max %.4g  makespan %.4g",
+			row.Tree, row.Topology, row.Jobs, row.TotalFlow, row.MaxFlow, row.Makespan)
+		if row.Faults > 0 {
+			line += fmt.Sprintf("  faults %d", row.Faults)
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	fmt.Fprintf(stdout, "total flow      %.4g\n", card.TotalFlow)
+	fmt.Fprintf(stdout, "weighted flow   %.4g\n", card.WeightedFlow)
+	fmt.Fprintf(stdout, "makespan        %.4g\n", card.Makespan)
+	if scorecardOut != "" {
+		f, err := os.Create(scorecardOut)
+		if err != nil {
+			return fail(err)
+		}
+		if err := card.WriteJSON(f); err != nil {
+			f.Close()
 			return fail(err)
 		}
 		if err := f.Close(); err != nil {

@@ -276,3 +276,60 @@ func TestRunStreamOverridesScenarioFile(t *testing.T) {
 		t.Fatalf("-retain 0 override did not restore full retention:\n%s", out)
 	}
 }
+
+func TestRunFleet(t *testing.T) {
+	card := filepath.Join(t.TempDir(), "card.json")
+	code, out, errw := exec(t,
+		"-topo", "fattree:2,2,2", "-n", "200", "-seed", "5",
+		"-fleet", "3", "-fleetpolicy", "jsq", "-faults", "brownouts:2,10,0.5",
+		"-scorecard", card)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	for _, want := range []string{"fleet           3 trees, policy jsq", "front door      200 jobs routed", "tree 0", "tree 2", "total flow"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet report missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"per_tree\"") {
+		t.Fatalf("scorecard JSON missing per_tree rows:\n%s", data)
+	}
+}
+
+func TestRunFleetFromScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.txt")
+	if err := os.WriteFile(path, []byte("topo=star:4 n=60 size=uniform:1,8 load=0.8 seed=9 fleet=2 fleetpolicy=rr\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errw := exec(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "fleet           2 trees, policy rr") {
+		t.Fatalf("scenario file fleet section ignored:\n%s", out)
+	}
+}
+
+func TestRunFleetRejectsSingleTreeReports(t *testing.T) {
+	code, _, errw := exec(t, "-topo", "star:4", "-n", "20", "-fleet", "2", "-gantt")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errw)
+	}
+	if !strings.Contains(errw, "single-tree report") {
+		t.Fatalf("stderr %q does not explain the conflict", errw)
+	}
+}
+
+func TestRunFleetPolicyNeedsFleet(t *testing.T) {
+	code, _, errw := exec(t, "-topo", "star:4", "-n", "20", "-fleetpolicy", "jsq")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errw)
+	}
+	if !strings.Contains(errw, "-fleetpolicy needs -fleet") {
+		t.Fatalf("stderr %q does not explain the missing -fleet", errw)
+	}
+}

@@ -1,0 +1,109 @@
+// The front-door router and per-tree fault resolution. The router is
+// deliberately blind to execution: it sees only the arrival sequence
+// and a fluid model of each tree (offered work draining at root
+// capacity). That keeps routing a pure function of the workload
+// stream, so per-tree faults — which change how a tree *executes* its
+// jobs — can never change which jobs a tree *receives*.
+package fleet
+
+import (
+	"fmt"
+
+	"treesched/internal/faults"
+	"treesched/internal/rng"
+	"treesched/internal/scenario"
+	"treesched/internal/tree"
+	"treesched/internal/workload"
+)
+
+// spillFactor is the local policy's tolerance: a job spills away from
+// its home tree when the home's estimated drain time exceeds
+// spillFactor times the fleet's best.
+const spillFactor = 2.0
+
+type router struct {
+	policy  string
+	caps    []float64
+	backlog []float64 // estimated unserved work per tree
+	last    []float64 // time each backlog estimate was advanced to
+	rr      int
+}
+
+func newRouter(policy string, caps []float64) *router {
+	return &router{
+		policy:  policy,
+		caps:    caps,
+		backlog: make([]float64, len(caps)),
+		last:    make([]float64, len(caps)),
+	}
+}
+
+// route picks the tree for job j and charges j's work to its backlog
+// estimate. Jobs must arrive in release order.
+func (ro *router) route(j workload.Job) int {
+	// Drain every estimate to the arrival instant.
+	for i := range ro.backlog {
+		d := ro.backlog[i] - (j.Release-ro.last[i])*ro.caps[i]
+		if d < 0 {
+			d = 0
+		}
+		ro.backlog[i] = d
+		ro.last[i] = j.Release
+	}
+	var k int
+	switch ro.policy {
+	case "rr":
+		k = ro.rr
+		ro.rr = (ro.rr + 1) % len(ro.caps)
+	case "jsq":
+		k = ro.shortest()
+	case "local":
+		// Affinity first: the job's home is a stable hash of its ID.
+		// Spill to the shortest queue only when home is badly behind.
+		k = j.ID % len(ro.caps)
+		best := ro.shortest()
+		if ro.drain(k, j.Size) > spillFactor*ro.drain(best, j.Size) {
+			k = best
+		}
+	default:
+		// Run validates the policy before routing a single job.
+		panic("fleet: unknown policy " + ro.policy)
+	}
+	ro.backlog[k] += j.Size
+	return k
+}
+
+// drain estimates how long tree i would take to clear its backlog
+// plus one more job of the given size.
+func (ro *router) drain(i int, size float64) float64 {
+	return (ro.backlog[i] + size) / ro.caps[i]
+}
+
+// shortest returns the tree with the minimum normalized backlog,
+// lowest index on ties.
+func (ro *router) shortest() int {
+	k := 0
+	best := ro.backlog[0] / ro.caps[0]
+	for i := 1; i < len(ro.backlog); i++ {
+		if d := ro.backlog[i] / ro.caps[i]; d < best {
+			best, k = d, i
+		}
+	}
+	return k
+}
+
+// resolveFaults turns one tree's fault spec into a concrete plan,
+// drawing plan generators from the tree's own stream. Explicit event
+// lists pass through untouched (they draw nothing).
+func resolveFaults(fs *scenario.FaultSpec, r *rng.Rand, t *tree.Tree, span float64) (*faults.Plan, error) {
+	switch {
+	case fs.Plan.Name != "" && len(fs.Events) > 0:
+		return nil, fmt.Errorf("faults.plan and faults.events are mutually exclusive")
+	case fs.Plan.Name != "":
+		return scenario.BuildFaultPlan(fs.Plan, r, t, span)
+	case len(fs.Events) > 0:
+		return &faults.Plan{Events: append([]faults.Event(nil), fs.Events...)}, nil
+	default:
+		return nil, fmt.Errorf("faults needs a plan or events")
+	}
+}

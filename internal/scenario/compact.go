@@ -18,10 +18,12 @@ import (
 // identity (pinned by a fuzz target). Inline jobs are JSON-only.
 //
 // Keys: name topo process n size class load cap related unrelated
-// round maxweight policy assigner eps seed aseed speed speeds horizon
-// faults recovery shards split retain and the flags packetized instrument
-// scanqueue slices stream. Inline fault events, like inline jobs, are
-// JSON-only.
+// round maxweight policy assigner eps seed rng aseed speed speeds
+// horizon faults recovery fleet fleetpolicy trees shards split retain
+// and the flags packetized instrument scanqueue slices stream. Inline
+// fault events, like inline jobs, are JSON-only. trees= lists
+// per-tree topology specs separated by semicolons
+// (trees=fattree:2,2,2;star:8).
 
 // Compact renders the scenario as its one-line form. Scenarios that
 // only JSON can express (inline jobs, names with whitespace) return
@@ -88,6 +90,9 @@ func (sc *Scenario) Compact() (string, error) {
 	if sc.Seed != 0 {
 		add("seed", strconv.FormatUint(sc.Seed, 10))
 	}
+	if sc.RNG != "" {
+		add("rng", sc.RNG)
+	}
 	if sc.AssignerSeed != 0 {
 		add("aseed", strconv.FormatUint(sc.AssignerSeed, 10))
 	}
@@ -109,6 +114,21 @@ func (sc *Scenario) Compact() (string, error) {
 		}
 		if fs.Recovery != "" {
 			add("recovery", fs.Recovery)
+		}
+	}
+	if fl := sc.Fleet; fl != nil {
+		if fl.Trees != 0 {
+			add("fleet", strconv.Itoa(fl.Trees))
+		}
+		if fl.Policy != "" {
+			add("fleetpolicy", fl.Policy)
+		}
+		if len(fl.Topos) > 0 {
+			specs := make([]string, len(fl.Topos))
+			for i, sp := range fl.Topos {
+				specs[i] = sp.String()
+			}
+			add("trees", strings.Join(specs, ";"))
 		}
 	}
 	if sc.Engine.Shards != 0 {
@@ -276,6 +296,36 @@ func (sc *Scenario) setCompact(key, val string) error {
 			sc.Faults = &FaultSpec{}
 		}
 		sc.Faults.Recovery = val
+	case "rng":
+		if val != "legacy" && val != "keyed" {
+			return fmt.Errorf("compact scenario: rng=%s: want legacy|keyed", val)
+		}
+		sc.RNG = val
+	case "fleet":
+		var n int
+		if n, err = strconv.Atoi(val); err != nil {
+			break
+		}
+		if n < 1 {
+			return fmt.Errorf("compact scenario: fleet=%s: want a tree count >= 1", val)
+		}
+		sc.fleet().Trees = n
+	case "fleetpolicy":
+		if val != "rr" && val != "jsq" && val != "local" {
+			return fmt.Errorf("compact scenario: fleetpolicy=%s: want rr|jsq|local", val)
+		}
+		sc.fleet().Policy = val
+	case "trees":
+		parts := strings.Split(val, ";")
+		topos := make([]Spec, len(parts))
+		for i, part := range parts {
+			if topos[i], err = ParseSpec(part); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			sc.fleet().Topos = topos
+		}
 	default:
 		return fmt.Errorf("compact scenario: unknown key %q", key)
 	}
@@ -283,6 +333,15 @@ func (sc *Scenario) setCompact(key, val string) error {
 		return fmt.Errorf("compact scenario: %s=%s: %v", key, val, err)
 	}
 	return nil
+}
+
+// fleet returns the scenario's FleetSpec, allocating it on first use
+// (mirrors the Faults pattern: any fleet key materializes the spec).
+func (sc *Scenario) fleet() *FleetSpec {
+	if sc.Fleet == nil {
+		sc.Fleet = &FleetSpec{}
+	}
+	return sc.Fleet
 }
 
 func splitFloats(val string, min, max int) ([]float64, error) {

@@ -24,6 +24,10 @@ func FuzzCompactRoundTrip(f *testing.F) {
 		"topo=line:5 load=1e-3 seed=18446744073709551615",
 		"topo=fattree:2,2,2 n=150 size=uniform:1,16 load=0.8 seed=11 faults=outages:4,8 recovery=redispatch instrument slices",
 		"topo=star:8 n=100 size=uniform:1,4 load=0.7 faults=leafloss:2,0.5 recovery=hold",
+		"topo=fattree:2,2,2 n=400 size=uniform:1,16 load=0.9 seed=3 rng=keyed fleet=4 fleetpolicy=jsq",
+		"topo=star:4 n=200 size=uniform:1,8 load=0.8 seed=5 rng=legacy fleet=2 fleetpolicy=local faults=brownouts:2,5,0.5",
+		"n=300 size=uniform:1,16 load=0.9 seed=9 rng=keyed trees=fattree:2,2,2;star:8;line:4 fleetpolicy=rr",
+		"topo=fattree:2,1,4 n=100 size=uniform:1,4 load=0.5 fleet=3 trees=star:2;star:4;star:8",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -71,6 +75,10 @@ func FuzzScenarioJSON(f *testing.F) {
 			` "faults": {"plan": "brownouts:3,10,0.25", "recovery": "redispatch"}, "engine": {"instrument": true, "record_slices": true}}`,
 		`{"topology": "star:4", "workload": {"n": 50, "size": "uniform:1,4", "load": 0.5},` +
 			` "faults": {"events": [{"kind": "outage", "node": 2, "start": 1, "end": 3}], "recovery": "hold"}}`,
+		`{"topology": "fattree:2,2,2", "workload": {"n": 400, "size": "uniform:1,16", "load": 0.9}, "seed": 3,` +
+			` "rng": "keyed", "fleet": {"trees": 4, "policy": "jsq"}}`,
+		`{"topology": "star:4", "workload": {"n": 200, "size": "uniform:1,8", "load": 0.8}, "seed": 5,` +
+			` "fleet": {"policy": "local", "topos": ["star:2", "fattree:2,2,2"]}}`,
 		// compact input through the same entry point: Load auto-detects.
 		"topo=fattree:2,2,2 n=100 size=uniform:1,16 load=0.9 seed=1",
 	}

@@ -38,6 +38,9 @@ type Instance struct {
 // Build resolves every spec in the scenario against the registries
 // and generates the trace. It does not run anything.
 func (sc *Scenario) Build() (*Instance, error) {
+	if sc.Fleet != nil {
+		return nil, fmt.Errorf("scenario: fleet scenarios are run through the fleet layer (fleet.Run or treesched -fleet)")
+	}
 	if sc.Topology.Name == "" {
 		return nil, fmt.Errorf("scenario: topology is required")
 	}
@@ -75,17 +78,24 @@ func (sc *Scenario) Build() (*Instance, error) {
 	if sc.Engine.Packetized && (sc.Engine.Stream || sc.Engine.RetainJobs > 0) {
 		return nil, fmt.Errorf("scenario: packetized runs do not support streaming")
 	}
-	// One rng stream per scenario: workload generation draws first,
-	// fault-plan generation after, so fault-free scenarios keep their
-	// historical traces bit for bit. Lazily streamable scenarios skip
-	// materialization entirely — NewSource draws the identical stream
-	// prefix from a fresh rng.New(Seed) at run time (fault plans need
-	// the trace's span and force materialization; explicit fault
+	// One rng partition per scenario. In the default legacy mode the
+	// partition is a single shared stream: workload generation draws
+	// first, fault-plan generation after, so fault-free scenarios keep
+	// their historical traces bit for bit (the exact order is pinned by
+	// TestLegacyDrawOrder; see DESIGN.md). In keyed mode each
+	// subsystem draws from its own Seed-derived stream, so e.g. adding
+	// a fault plan cannot move a single workload draw. Lazily
+	// streamable scenarios skip materialization entirely — NewSource
+	// rebuilds an identical fresh partition at run time (fault plans
+	// need the trace's span and force materialization; explicit fault
 	// events do not).
-	r := rng.New(sc.Seed)
+	p, err := sc.NewPartition()
+	if err != nil {
+		return nil, err
+	}
 	var tr *workload.Trace
 	if !sc.lazyStreamable(&w) {
-		tr, err = w.GenerateFrom(r)
+		tr, err = w.GenerateRNG(p)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: workload: %w", err)
 		}
@@ -112,7 +122,7 @@ func (sc *Scenario) Build() (*Instance, error) {
 		workload: w,
 	}
 	if sc.Faults != nil {
-		if err := applyFaults(in, r); err != nil {
+		if err := applyFaults(in, p.Stream("faults")); err != nil {
 			return nil, err
 		}
 	}
@@ -123,8 +133,9 @@ func (sc *Scenario) Build() (*Instance, error) {
 }
 
 // applyFaults resolves the scenario's fault spec into a compiled
-// schedule on in.Opts. The plan generator draws from r, the scenario
-// stream, right after workload generation.
+// schedule on in.Opts. The plan generator draws from r — in legacy
+// mode the shared scenario stream, positioned right after workload
+// generation; in keyed mode the dedicated "faults" stream.
 func applyFaults(in *Instance, r *rng.Rand) error {
 	fs := in.Scenario.Faults
 	switch {

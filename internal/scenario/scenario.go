@@ -68,11 +68,27 @@ func (w *Workload) Generate(seed uint64) (*workload.Trace, error) {
 	return w.GenerateFrom(rng.New(seed))
 }
 
-// GenerateFrom produces the trace drawing from an existing rng stream.
-// Scenario.Build owns one stream per scenario: workload generation
-// draws first, fault-plan generation after, so fault-free scenarios
-// reproduce their historical traces bit for bit.
+// GenerateFrom produces the trace drawing from an existing single rng
+// stream in the legacy order (see GenerateRNG): arrival and size
+// draws interleave per job, then the unrelated transform, then
+// weights — the same order every hand-wired construction in this repo
+// used, so a Workload with the same seed reproduces those traces bit
+// for bit.
 func (w *Workload) GenerateFrom(r *rng.Rand) (*workload.Trace, error) {
+	return w.GenerateRNG(rng.LegacyFrom(r))
+}
+
+// GenerateRNG produces the trace drawing from a partitioned rng: the
+// arrival process draws from the "workload" stream, size samples and
+// the unrelated transform from "sizes", weight assignment from
+// "weights". With a keyed partition the subsystems are isolated —
+// changing the size law cannot move an arrival, adding weights cannot
+// move a size. With a legacy partition every stream name aliases the
+// one shared generator, so the draws interleave in exactly the
+// historical single-stream order and pre-refactor traces reproduce
+// bit for bit (pinned by TestLegacyDrawOrder and the equivalence
+// suites).
+func (w *Workload) GenerateRNG(p *rng.PartitionedRNG) (*workload.Trace, error) {
 	if len(w.Jobs) > 0 {
 		tr := &workload.Trace{Jobs: append([]workload.Job(nil), w.Jobs...)}
 		if err := tr.Validate(); err != nil {
@@ -91,8 +107,9 @@ func (w *Workload) GenerateFrom(r *rng.Rand) (*workload.Trace, error) {
 			size = workload.ClassRounded{Base: size, Eps: w.ClassEps}
 		}
 	}
-	tr, err := buildProcess(w.Process, r, workload.GenConfig{
+	tr, err := buildProcess(w.Process, p.Stream("workload"), workload.GenConfig{
 		N: w.N, Size: size, Load: w.Load, Capacity: w.Capacity,
+		SizeRand: p.Stream("sizes"),
 	})
 	if err != nil {
 		return nil, err
@@ -106,7 +123,7 @@ func (w *Workload) GenerateFrom(r *rng.Rand) (*workload.Trace, error) {
 		if u.Leaves <= 0 {
 			return nil, fmt.Errorf("unrelated transform needs a leaf count (no topology to derive it from)")
 		}
-		if err := workload.MakeUnrelated(r, tr, workload.UnrelatedConfig{
+		if err := workload.MakeUnrelated(p.Stream("sizes"), tr, workload.UnrelatedConfig{
 			Leaves: u.Leaves, Lo: u.Lo, Hi: u.Hi, PInfeasible: u.PInfeasible, Penalty: u.Penalty,
 		}); err != nil {
 			return nil, err
@@ -116,7 +133,7 @@ func (w *Workload) GenerateFrom(r *rng.Rand) (*workload.Trace, error) {
 		workload.RoundTraceToClasses(tr, w.RoundEps)
 	}
 	if w.MaxWeight > 0 {
-		workload.AssignWeights(r, tr, w.MaxWeight)
+		workload.AssignWeights(p.Stream("weights"), tr, w.MaxWeight)
 	}
 	return tr, nil
 }
@@ -170,6 +187,57 @@ type FaultSpec struct {
 	// Recovery selects the permanent-leaf-loss policy: "hold" (default)
 	// or "redispatch".
 	Recovery string `json:"recovery,omitempty"`
+}
+
+// FleetSpec asks for a fleet-of-trees co-simulation: N independently
+// seeded tree instances behind a front-door router that dispatches
+// the scenario's (single) workload stream across them. The scenario
+// package only carries the data; building and running a fleet is the
+// fleet package's job (scenario.Build rejects fleet scenarios so they
+// cannot be silently run as a single tree).
+type FleetSpec struct {
+	// Trees is the tree count. Zero with Topos set means len(Topos).
+	Trees int `json:"trees,omitempty"`
+	// Policy names the cross-tree routing policy: "rr" (round-robin,
+	// the default), "jsq" (join the tree with the shortest estimated
+	// backlog) or "local" (affinity-hashed with overload spill).
+	Policy string `json:"policy,omitempty"`
+	// Topos, when set, gives each tree its own topology instead of
+	// copies of the scenario's Topology. Length must match Trees when
+	// both are set.
+	Topos []Spec `json:"topos,omitempty"`
+}
+
+// EffPolicy returns the effective cross-tree routing policy name
+// (default "rr") or an error for an unknown one.
+func (f *FleetSpec) EffPolicy() (string, error) {
+	switch f.Policy {
+	case "", "rr":
+		return "rr", nil
+	case "jsq":
+		return "jsq", nil
+	case "local":
+		return "local", nil
+	default:
+		return "", fmt.Errorf("scenario: unknown fleet policy %q (want rr|jsq|local)", f.Policy)
+	}
+}
+
+// NumTrees resolves the fleet's tree count from Trees and Topos,
+// rejecting inconsistent combinations.
+func (f *FleetSpec) NumTrees() (int, error) {
+	switch {
+	case f.Trees < 0:
+		return 0, fmt.Errorf("scenario: fleet.trees must be >= 1, got %d", f.Trees)
+	case f.Trees == 0 && len(f.Topos) == 0:
+		return 0, fmt.Errorf("scenario: fleet needs trees or topos")
+	case f.Trees == 0:
+		return len(f.Topos), nil
+	case len(f.Topos) > 0 && len(f.Topos) != f.Trees:
+		return 0, fmt.Errorf("scenario: fleet.trees is %d but fleet.topos lists %d topologies", f.Trees, len(f.Topos))
+	default:
+		return f.Trees, nil
+	}
 }
 
 // Engine selects run-mode options that change the schedule or its
@@ -229,8 +297,16 @@ type Scenario struct {
 	Assigner string `json:"assigner,omitempty"`
 	// Eps is the greedy/class epsilon (default 0.5).
 	Eps float64 `json:"eps,omitempty"`
-	// Seed drives workload generation.
+	// Seed drives workload generation. Under RNG "keyed" it is the
+	// SimulationKey every subsystem stream derives from.
 	Seed uint64 `json:"seed,omitempty"`
+	// RNG selects the random-stream discipline: "legacy" (default,
+	// also "") runs every subsystem off one shared stream in the
+	// historical draw order, reproducing pre-partition traces bit for
+	// bit; "keyed" gives each subsystem (workload, sizes, weights,
+	// faults, per-tree) its own stream derived from Seed alone, so
+	// adding a draw in one subsystem cannot perturb another.
+	RNG string `json:"rng,omitempty"`
 	// AssignerSeed seeds randomized assigners (0 = Seed+1).
 	AssignerSeed uint64 `json:"assigner_seed,omitempty"`
 	// Speed is the tree speed profile.
@@ -240,8 +316,38 @@ type Scenario struct {
 	Horizon int `json:"horizon,omitempty"`
 	// Faults, when set, injects deterministic node faults.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Fleet, when set, turns the scenario into a fleet-of-trees
+	// co-simulation (run through the fleet package, not Build).
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 	// Engine selects run-mode options.
 	Engine Engine `json:"engine,omitempty"`
+}
+
+// EffRNGMode returns the effective rng discipline ("legacy" or
+// "keyed") or an error for an unknown mode.
+func (sc *Scenario) EffRNGMode() (string, error) {
+	switch sc.RNG {
+	case "", "legacy":
+		return "legacy", nil
+	case "keyed":
+		return "keyed", nil
+	default:
+		return "", fmt.Errorf("scenario: unknown rng mode %q (want legacy|keyed)", sc.RNG)
+	}
+}
+
+// NewPartition returns a fresh rng partition in the scenario's mode,
+// seeded by the scenario: the root of every random draw Build and
+// NewSource make.
+func (sc *Scenario) NewPartition() (*rng.PartitionedRNG, error) {
+	mode, err := sc.EffRNGMode()
+	if err != nil {
+		return nil, err
+	}
+	if mode == "keyed" {
+		return rng.NewPartitioned(rng.SimulationKey(sc.Seed)), nil
+	}
+	return rng.NewLegacy(sc.Seed), nil
 }
 
 // EffEps returns the effective epsilon (default 0.5).

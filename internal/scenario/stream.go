@@ -1,9 +1,10 @@
 // Streaming scenario support: deciding when a workload can be
 // generated one job at a time, building the ArrivalSource, and the
 // stream-aware run paths of Instance and Runner. The invariant
-// throughout is the single-rng-stream discipline: a source draws
-// from rng.New(Seed) in exactly the order GenerateFrom would, so
-// streamed and materialized runs are bit-identical.
+// throughout: a source draws from a fresh partition of the
+// scenario's seed in exactly the order GenerateRNG would (in legacy
+// mode, the historical single rng.New(Seed) stream), so streamed and
+// materialized runs are bit-identical.
 package scenario
 
 import (
@@ -26,13 +27,22 @@ func (w *Workload) Streamable() bool {
 }
 
 // SourceFrom returns an ArrivalSource for the workload drawing from
-// r. Topology-derived defaults (Capacity, Unrelated.Leaves) must be
-// resolved, exactly as for GenerateFrom. Non-streamable workloads
-// materialize internally; either way the rng draws and the yielded
-// jobs match GenerateFrom bit for bit.
+// r under the legacy single-stream discipline. Topology-derived
+// defaults (Capacity, Unrelated.Leaves) must be resolved, exactly as
+// for GenerateFrom. Non-streamable workloads materialize internally;
+// either way the rng draws and the yielded jobs match GenerateFrom
+// bit for bit.
 func (w *Workload) SourceFrom(r *rng.Rand) (workload.ArrivalSource, error) {
+	return w.SourceRNG(rng.LegacyFrom(r))
+}
+
+// SourceRNG is SourceFrom over a partition: arrivals draw from the
+// "workload" stream and sizes from "sizes", matching GenerateRNG
+// draw for draw (in legacy mode both names alias one stream, which
+// is exactly the historical order).
+func (w *Workload) SourceRNG(p *rng.PartitionedRNG) (workload.ArrivalSource, error) {
 	if !w.Streamable() {
-		tr, err := w.GenerateFrom(r)
+		tr, err := w.GenerateRNG(p)
 		if err != nil {
 			return nil, err
 		}
@@ -49,8 +59,9 @@ func (w *Workload) SourceFrom(r *rng.Rand) (workload.ArrivalSource, error) {
 			size = workload.ClassRounded{Base: size, Eps: w.ClassEps}
 		}
 	}
-	src, err := buildProcessSource(w.Process, r, workload.GenConfig{
+	src, err := buildProcessSource(w.Process, p.Stream("workload"), workload.GenConfig{
 		N: w.N, Size: size, Load: w.Load, Capacity: w.Capacity,
+		SizeRand: p.Stream("sizes"),
 	})
 	if err != nil {
 		return nil, err
@@ -77,13 +88,18 @@ func (sc *Scenario) lazyStreamable(w *Workload) bool {
 
 // NewSource returns a fresh ArrivalSource for the instance's
 // workload. With a materialized trace it is a TraceSource wrapping
-// it; otherwise generation streams from a fresh rng.New(Seed), so
-// every call yields the identical job sequence.
+// it; otherwise generation streams from a fresh partition built the
+// same way Build builds its own, so every call yields the identical
+// job sequence.
 func (in *Instance) NewSource() (workload.ArrivalSource, error) {
 	if in.Trace != nil {
 		return workload.NewTraceSource(in.Trace), nil
 	}
-	return in.workload.SourceFrom(rng.New(in.Scenario.Seed))
+	p, err := in.Scenario.NewPartition()
+	if err != nil {
+		return nil, err
+	}
+	return in.workload.SourceRNG(p)
 }
 
 // runStream executes the instance through the streaming pipeline on

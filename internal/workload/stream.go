@@ -78,7 +78,7 @@ func (s *PoissonSource) Next() (Job, bool) {
 		return Job{}, false
 	}
 	s.t += s.r.Exp(s.rate)
-	j := Job{ID: s.i, Release: s.t, Size: s.cfg.Size.Sample(s.r)}
+	j := Job{ID: s.i, Release: s.t, Size: s.cfg.Size.Sample(s.cfg.sizeRand(s.r))}
 	s.i++
 	return j, true
 }
@@ -119,7 +119,7 @@ func (s *BurstySource) Next() (Job, bool) {
 		s.t += s.r.Exp(s.rate)
 	}
 	s.t += 1e-9
-	j := Job{ID: s.i, Release: s.t, Size: s.cfg.Size.Sample(s.r)}
+	j := Job{ID: s.i, Release: s.t, Size: s.cfg.Size.Sample(s.cfg.sizeRand(s.r))}
 	s.i++
 	s.pos++
 	if s.pos == s.burstLen {
@@ -295,12 +295,17 @@ func StreamNDJSON(src ArrivalSource, w io.Writer) (TraceStats, error) {
 }
 
 // NDJSONSource streams jobs back from the newline-delimited form
-// written by StreamNDJSON. Per-job validity is the consumer's
-// business (the engine's stream injector validates incrementally).
+// written by StreamNDJSON. Arrival ordering is checked as jobs are
+// decoded — a non-monotone release fails the source immediately, so a
+// corrupt or hand-edited file cannot feed an out-of-order sequence to
+// the engine or the fleet router. Other per-job validity is the
+// consumer's business (the engine's stream injector validates
+// incrementally).
 type NDJSONSource struct {
-	dec *json.Decoder
-	err error
-	i   int
+	dec  *json.Decoder
+	err  error
+	i    int
+	last float64
 }
 
 // NewNDJSONSource reads one Job object per line (any JSON value
@@ -320,6 +325,11 @@ func (s *NDJSONSource) Next() (Job, bool) {
 		}
 		return Job{}, false
 	}
+	if s.i > 0 && j.Release < s.last {
+		s.err = fmt.Errorf("workload: NDJSON job %d arrives at %v, before its predecessor at %v (releases must be non-decreasing)", s.i, j.Release, s.last)
+		return Job{}, false
+	}
+	s.last = j.Release
 	s.i++
 	return j, true
 }

@@ -167,3 +167,116 @@ func TestNDJSONSourceError(t *testing.T) {
 		t.Fatal("failed source should stay stopped")
 	}
 }
+
+// failNDJSON drains an NDJSON source that must fail, returning the
+// error and how many jobs decoded cleanly first.
+func failNDJSON(t *testing.T, input string) (error, int) {
+	t.Helper()
+	src := NewNDJSONSource(strings.NewReader(input))
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	err := src.Err()
+	if err == nil {
+		t.Fatalf("source drained %d jobs from %q without error", n, input)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("failed source yielded another job")
+	}
+	return err, n
+}
+
+func TestNDJSONSourceTruncatedLine(t *testing.T) {
+	// The writer died mid-object: the decode error must surface, not a
+	// silent clean EOF after the good prefix.
+	err, n := failNDJSON(t, "{\"ID\":0,\"Release\":1,\"Size\":2}\n{\"ID\":1,\"Release\":2,\"Si")
+	if n != 1 {
+		t.Fatalf("decoded %d jobs before the truncated line, want 1", n)
+	}
+	if !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("error %q does not name the offending job index", err)
+	}
+}
+
+func TestNDJSONSourceNonMonotone(t *testing.T) {
+	err, n := failNDJSON(t,
+		"{\"ID\":0,\"Release\":5,\"Size\":1}\n{\"ID\":1,\"Release\":3,\"Size\":1}\n{\"ID\":2,\"Release\":9,\"Size\":1}\n")
+	if n != 1 {
+		t.Fatalf("decoded %d jobs before the regression, want 1", n)
+	}
+	if !strings.Contains(err.Error(), "non-decreasing") {
+		t.Fatalf("error %q does not explain the ordering requirement", err)
+	}
+	// Equal releases are fine (ties are allowed; only regressions fail).
+	tr, err2 := Collect(NewNDJSONSource(strings.NewReader(
+		"{\"ID\":0,\"Release\":5,\"Size\":1}\n{\"ID\":1,\"Release\":5,\"Size\":1}\n")))
+	if err2 != nil {
+		t.Fatalf("tied releases rejected: %v", err2)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("tied releases yielded %d jobs, want 2", len(tr.Jobs))
+	}
+}
+
+func TestNDJSONSourceBadUTF8(t *testing.T) {
+	err, _ := failNDJSON(t, "{\"ID\":0,\"Release\":1,\"Size\":2}\n\xff\xfe{\"ID\":1}\n")
+	if !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("error %q does not name the offending job index", err)
+	}
+}
+
+func TestTraceSourceExhaustion(t *testing.T) {
+	src := NewTraceSource(&Trace{Jobs: []Job{{ID: 0, Release: 1, Size: 2}}})
+	if _, ok := src.Next(); !ok {
+		t.Fatal("single-job trace yielded nothing")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("drained TraceSource yielded a job")
+	}
+	if src.Err() != nil {
+		t.Fatalf("TraceSource reported an error: %v", src.Err())
+	}
+	empty := NewTraceSource(&Trace{})
+	if _, ok := empty.Next(); ok {
+		t.Fatal("empty TraceSource yielded a job")
+	}
+}
+
+func TestSizeRandSplitsDraws(t *testing.T) {
+	// With SizeRand set, interarrival draws come from the main stream
+	// alone: the arrival sequence is invariant under a change of size
+	// law, which is exactly what the single-stream order cannot offer.
+	gen := func(size SizeDist) []Job {
+		p := rng.NewPartitioned(3)
+		cfg := GenConfig{N: 200, Size: size, Load: 0.9, Capacity: 2, SizeRand: p.Stream("sizes")}
+		// Hold the mean fixed so the calibrated rate (and hence the
+		// arrival times themselves) cannot differ between size laws.
+		tr, err := Poisson(p.Stream("workload"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Jobs
+	}
+	a := gen(UniformSize{1, 3})
+	b := gen(BimodalSize{Small: 1, Big: 3, PBig: 0.5})
+	for i := range a {
+		if a[i].Release != b[i].Release {
+			t.Fatalf("job %d arrival moved (%v -> %v) when only the size law changed", i, a[i].Release, b[i].Release)
+		}
+	}
+	// Streamed twin: bit-identical to the materialized run under the
+	// same partition.
+	p := rng.NewPartitioned(3)
+	cfg := GenConfig{N: 200, Size: UniformSize{1, 3}, Load: 0.9, Capacity: 2, SizeRand: p.Stream("sizes")}
+	src, err := NewPoissonSource(p.Stream("workload"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, src); !reflect.DeepEqual(got, a) {
+		t.Fatal("streamed partitioned Poisson differs from materialized")
+	}
+}

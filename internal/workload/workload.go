@@ -255,6 +255,21 @@ type GenConfig struct {
 	// (e.g. number of root branches for trees, 1 for a line).
 	Load     float64
 	Capacity float64
+	// SizeRand, when non-nil, is the stream size samples draw from,
+	// leaving the main generator stream to the arrival process alone
+	// (the partitioned-RNG discipline: adding a size draw cannot shift
+	// an interarrival draw). Nil interleaves sizes and arrivals on the
+	// one main stream — the legacy single-stream order.
+	SizeRand *rng.Rand
+}
+
+// sizeRand returns the stream size samples draw from: SizeRand when
+// set, otherwise the main stream r.
+func (c *GenConfig) sizeRand(r *rng.Rand) *rng.Rand {
+	if c.SizeRand != nil {
+		return c.SizeRand
+	}
+	return r
 }
 
 func (c *GenConfig) validate() error {
@@ -287,10 +302,10 @@ func Poisson(r *rng.Rand, cfg GenConfig) (*Trace, error) {
 		"size":    cfg.Size.Name(),
 		"load":    fmt.Sprintf("%g", cfg.Load),
 	}}
-	t := 0.0
+	t, sr := 0.0, cfg.sizeRand(r)
 	for i := 0; i < cfg.N; i++ {
 		t += r.Exp(rate)
-		tr.Jobs = append(tr.Jobs, Job{ID: i, Release: t, Size: cfg.Size.Sample(r)})
+		tr.Jobs = append(tr.Jobs, Job{ID: i, Release: t, Size: cfg.Size.Sample(sr)})
 	}
 	return tr, nil
 }
@@ -312,13 +327,13 @@ func Bursty(r *rng.Rand, cfg GenConfig, burstLen int) (*Trace, error) {
 		"size":    cfg.Size.Name(),
 		"load":    fmt.Sprintf("%g", cfg.Load),
 	}}
-	t, id := 0.0, 0
+	t, id, sr := 0.0, 0, cfg.sizeRand(r)
 	for id < cfg.N {
 		t += r.Exp(rate)
 		for b := 0; b < burstLen && id < cfg.N; b++ {
 			// Distinct arrival times, per the paper's WLOG assumption.
 			t += 1e-9
-			tr.Jobs = append(tr.Jobs, Job{ID: id, Release: t, Size: cfg.Size.Sample(r)})
+			tr.Jobs = append(tr.Jobs, Job{ID: id, Release: t, Size: cfg.Size.Sample(sr)})
 			id++
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"treesched/internal/core"
 	"treesched/internal/faults"
+	"treesched/internal/fleet"
 	"treesched/internal/lowerbound"
 	"treesched/internal/rng"
 	"treesched/internal/scenario"
@@ -41,6 +42,9 @@ type (
 	// ScenarioFaults is a scenario's fault-injection section (a
 	// registered plan spec or inline events, plus the recovery policy).
 	ScenarioFaults = scenario.FaultSpec
+	// ScenarioFleet is a scenario's fleet-of-trees section (tree
+	// count, routing policy, optional per-tree topologies).
+	ScenarioFleet = scenario.FleetSpec
 )
 
 // NewSpec builds a Spec in place: NewSpec("fattree", 2, 2, 2).
@@ -61,6 +65,46 @@ func NewScenarioRunner(sc *Scenario) (*ScenarioRunner, error) { return scenario.
 // RegisterTopology adds a named topology generator to the scenario
 // registry, making it addressable from specs and scenario files.
 func RegisterTopology(e TopoEntry) { scenario.RegisterTopology(e) }
+
+// Fleet layer: N independently built tree instances behind a
+// front-door router dispatching one shared workload stream. Routing
+// is execution-blind and every random draw is partitioned per
+// subsystem and per tree, so per-tree fault edits never perturb
+// sibling trees and the worker count never changes a byte of output.
+type (
+	// FleetOptions tunes a fleet run (worker count, per-tree fault
+	// overrides).
+	FleetOptions = fleet.Options
+	// FleetResult is a completed fleet run.
+	FleetResult = fleet.Result
+	// FleetTreeResult is one tree's slice of a fleet run.
+	FleetTreeResult = fleet.TreeResult
+	// FleetScorecard is the serializable fleet summary.
+	FleetScorecard = fleet.Scorecard
+)
+
+// RunFleet executes a fleet scenario (Scenario.Fleet must be set).
+func RunFleet(sc *Scenario, opts FleetOptions) (*FleetResult, error) {
+	return fleet.Run(sc, opts)
+}
+
+// Partitioned rng: the seed discipline underneath scenarios. A
+// PartitionedRNG hands out one deterministic stream per subsystem
+// name, all derived from a single SimulationKey; the legacy
+// constructors alias every name to one shared stream, reproducing the
+// repo's historical single-stream draw order bit for bit.
+type (
+	PartitionedRNG = rng.PartitionedRNG
+	SimulationKey  = rng.SimulationKey
+)
+
+// NewPartitionedRNG builds a keyed partition: independent streams per
+// subsystem name.
+func NewPartitionedRNG(key SimulationKey) *PartitionedRNG { return rng.NewPartitioned(key) }
+
+// NewLegacyRNG builds a legacy partition: every stream name aliases
+// one rng.New(seed) stream.
+func NewLegacyRNG(seed uint64) *PartitionedRNG { return rng.NewLegacy(seed) }
 
 // Topology types and constructors.
 type (
