@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race test-race-parallel bench bench-json bench-compare stream-smoke fleet-smoke fuzz-smoke ci experiments examples clean
+.PHONY: all build vet test test-short test-race test-race-parallel bench bench-json bench-compare stream-smoke fleet-smoke serve-smoke fuzz-smoke ci experiments examples clean
 
 all: build vet test test-race
 
@@ -34,12 +34,12 @@ bench:
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_6.json
+	$(GO) run ./cmd/bench -out BENCH_7.json
 
 # Rerun the kernels and fail (exit 3) if any regressed >25% vs the
 # checked-in record.
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_6.json
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_7.json
 
 # Assert the constant-memory streaming property: a 1M-job bounded-
 # retention run must keep its peak heap under a fixed ceiling and flat
@@ -53,6 +53,13 @@ stream-smoke:
 fleet-smoke:
 	$(GO) run ./cmd/bench -fleet-smoke
 
+# Assert the serving-layer overload contract: under 5x overload the
+# daemon must shed with 429 + Retry-After, keep the heap bounded,
+# reopen after a quiet period, and drain byte-identically to an
+# offline replay of the accepted trace. Exit 6 on failure.
+serve-smoke:
+	$(GO) run ./cmd/bench -serve-smoke
+
 # Short fuzz pass over every fuzz target (~10s each); corpus seeds
 # alone run on plain `go test`, this digs a little deeper.
 fuzz-smoke:
@@ -63,8 +70,9 @@ fuzz-smoke:
 
 # Everything CI needs: build, vet, race-clean short tests, a smoke
 # run of the benchmark harness (fast benchtime, throwaway output), and
-# the constant-memory streaming and fleet determinism checks.
-ci: build vet test-race test-race-parallel stream-smoke fleet-smoke
+# the constant-memory streaming, fleet determinism and serving-layer
+# overload checks.
+ci: build vet test-race test-race-parallel stream-smoke fleet-smoke serve-smoke
 	$(GO) run ./cmd/bench -quick -out /tmp/BENCH_ci.json
 
 # Regenerate EXPERIMENTS.md (sequential so B4 throughput is clean).

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_6.json] [-seed 1] [-scale 0.05] [-quick]
-//	      [-compare BENCH_6.json] [-cpuprofile cpu.out] [-memprofile mem.out]
-//	      [-stream-smoke] [-fleet-smoke]
+//	bench [-out BENCH_7.json] [-seed 1] [-scale 0.05] [-quick]
+//	      [-compare BENCH_7.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-stream-smoke] [-fleet-smoke] [-serve-smoke]
 //
 // -compare checks the fresh results against a previously written
 // baseline file and exits with status 3 if any kernel's ns/op
@@ -24,6 +24,14 @@
 // fleet/jsq-4tree scenario at Workers=1 and Workers=4, failing (exit
 // 5) unless the scorecard JSON and every tree's per-job NDJSON are
 // byte-identical — the worker count must be a pure speed knob.
+//
+// -serve-smoke runs only the serving-layer overload probe: a daemon
+// over a speed-1 tree is offered five times its capacity, and the
+// probe fails (exit 6) unless the daemon sheds with 429 +
+// Retry-After, keeps the shed count monotone and the heap under the
+// smoke ceiling, reopens admission after a quiet period, and drains
+// every accepted job with a completion stream byte-identical to an
+// offline RunStream replay of the accepted (densely re-IDed) trace.
 //
 // Kernels:
 //
@@ -57,6 +65,16 @@
 //	                   fat trees behind a join-shortest-queue front
 //	                   door with per-tree brownouts, run at
 //	                   Workers = GOMAXPROCS
+//	server/inject-drain  the scheduler-as-a-service daemon end to end:
+//	                     one iteration starts a daemon on the serve
+//	                     scenario, submits a fixed 2,000-job trace over
+//	                     HTTP (NDJSON through admission) and drains;
+//	                     events is the job count, so events/sec is
+//	                     jobs/sec through the full HTTP path
+//	server/direct-stream the same 2,000-job trace through RunStream
+//	                     directly (no HTTP, no admission queue); the
+//	                     jobs/sec ratio against server/inject-drain is
+//	                     the daemon's per-job serving overhead
 //	rng_partition/legacy  generate a 2,000-job workload (sizes and
 //	                      weights) from a legacy partition, where every
 //	                      stream name aliases one shared state
@@ -83,12 +101,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"testing"
 
 	"treesched"
@@ -173,7 +196,7 @@ type kernel struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "write JSON results to this file")
+	out := flag.String("out", "BENCH_7.json", "write JSON results to this file")
 	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
 	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
 	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
@@ -182,6 +205,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	smoke := flag.Bool("stream-smoke", false, "run only the constant-memory stream probe; exit 4 if the 1M-job peak heap breaks the ceiling or is not flat vs 100k jobs")
 	fltSmoke := flag.Bool("fleet-smoke", false, "run only the fleet determinism probe; exit 5 if the scorecard or any tree's NDJSON differs between Workers=1 and Workers=4")
+	srvSmoke := flag.Bool("serve-smoke", false, "run only the serving-layer overload probe; exit 6 unless the daemon sheds with 429 + Retry-After, stays under the heap ceiling, and drains byte-identically to an offline replay")
 	testing.Init()
 	flag.Parse()
 
@@ -190,6 +214,9 @@ func main() {
 	}
 	if *fltSmoke {
 		os.Exit(fleetSmoke(*seed))
+	}
+	if *srvSmoke {
+		os.Exit(serveSmoke(*seed))
 	}
 
 	benchtime := "1s"
@@ -230,7 +257,7 @@ func main() {
 	}
 
 	doc := benchFile{
-		Schema:       "treesched-bench/6",
+		Schema:       "treesched-bench/7",
 		Go:           runtime.Version(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -668,6 +695,71 @@ func buildKernels(seed uint64, scale float64, streamEvents int64) ([]kernel, fun
 		},
 	})
 
+	// The server rows time one fixed 2,000-job trace through the
+	// scheduler-as-a-service daemon (HTTP admission -> engine
+	// goroutine -> drain) and through RunStream directly; events is
+	// the job count for both, so the events/sec ratio between them is
+	// the daemon's end-to-end per-job serving overhead. The queue is
+	// sized past the trace so a clean run never touches the shedder
+	// (overload behavior is the -serve-smoke probe's job).
+	srvSc := serveScenario()
+	srvIn, err := srvSc.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srvTr, err := treesched.PoissonTrace(seed+67, serveBenchJobs, 0.95, srvIn.Tree)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ks = append(ks,
+		kernel{
+			name:   "server/inject-drain",
+			events: int64(len(srvTr.Jobs)),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					srv, err := treesched.NewServer(treesched.ServerConfig{
+						Scenario: srvSc, QueueDepth: 2 * serveBenchJobs,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					hs := httptest.NewServer(srv.Handler())
+					cl := &treesched.ServerClient{Base: hs.URL}
+					res, err := cl.Submit(context.Background(), srvTr.Jobs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Accepted != len(srvTr.Jobs) {
+						b.Fatalf("daemon accepted %d of %d jobs", res.Accepted, len(srvTr.Jobs))
+					}
+					st, err := cl.Drain(context.Background())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Completed != len(srvTr.Jobs) {
+						b.Fatalf("daemon drained %d of %d jobs", st.Completed, len(srvTr.Jobs))
+					}
+					hs.Close()
+				}
+			},
+		},
+		kernel{
+			name:   "server/direct-stream",
+			events: int64(len(srvTr.Jobs)),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					opts := srvIn.Opts
+					opts.RetainJobs = 1
+					if _, err := treesched.RunStream(srvIn.Tree, treesched.NewTraceSource(srvTr), srvIn.Assigner, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	)
+
 	// The rng_partition rows time identical workload generation (2,000
 	// jobs with sizes and weights) from the two partition modes. Legacy
 	// aliases every stream name to one shared state; keyed lazily
@@ -936,6 +1028,172 @@ func fleetSmoke(seed uint64) int {
 		fmt.Fprintf(os.Stderr, "bench: fleet smoke OK: scorecard and %d trees' NDJSON byte-identical at Workers=1 and Workers=4\n", len(nd1))
 	}
 	return code
+}
+
+// serveBenchJobs is the serving-layer kernels' trace length, matching
+// the engine/warm calibration scale.
+const serveBenchJobs = 2000
+
+// serveScenario is the serving-layer kernels' fixed scenario: the
+// standard fat tree at speed 1.5 in serve mode (the workload arrives
+// from outside), with bounded retention so the daemon's memory stays
+// independent of the accepted job count.
+func serveScenario() *treesched.Scenario {
+	sc := &treesched.Scenario{
+		Topology: treesched.NewSpec("fattree", 2, 2, 2),
+		Speed:    treesched.ScenarioSpeed{Uniform: 1.5},
+	}
+	sc.Engine.Serve = true
+	sc.Engine.RetainJobs = 1
+	return sc
+}
+
+// serveSmoke is the -serve-smoke mode: drive a daemon into overload
+// and assert the robustness contract end to end — load sheds with 429
+// + Retry-After, the shed count is monotone, the heap stays bounded,
+// a quiet period reopens admission, and a graceful drain completes
+// every accepted job with a completion stream byte-identical to an
+// offline RunStream replay of the accepted (densely re-IDed) trace.
+// Returns the process exit code (6 on failure).
+func serveSmoke(seed uint64) int {
+	_ = seed // the probe's workload is fixed: overload dynamics, not sampling, are under test
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(os.Stderr, "bench: serve smoke FAIL: "+format+"\n", a...)
+		return 6
+	}
+
+	// Speed-1 fat tree: root capacity 2. Unit jobs every 0.1 time
+	// units offer rate 10 — hopelessly unstable, so the watermark must
+	// trip. The subscriber buffer is sized past the whole run so the
+	// byte-identity check cannot be voided by an overflow drop.
+	sc := &treesched.Scenario{Topology: treesched.NewSpec("fattree", 2, 2, 2)}
+	sc.Engine.Serve = true
+	sc.Engine.RetainJobs = 1
+	srv, err := treesched.NewServer(treesched.ServerConfig{
+		Scenario: sc, ShedBacklog: 20, SubscriberBuffer: 4096,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	// Retries stays 0: resubmitting the same releases cannot drain a
+	// fluid backlog, so retrying against sustained overload livelocks.
+	cl := &treesched.ServerClient{Base: hs.URL}
+	ctx := context.Background()
+
+	stream, err := cl.Completions(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	var got bytes.Buffer
+	streamDone := make(chan struct{})
+	go func() {
+		io.Copy(&got, stream)
+		close(streamDone)
+	}()
+
+	var accepted []treesched.Job
+	shedBatches, prevShed := 0, 0
+	var peak uint64
+	for b := 0; b < 10; b++ {
+		batch := make([]treesched.Job, 20)
+		for i := range batch {
+			batch[i] = treesched.Job{Release: float64(b*20+i) * 0.1, Size: 1}
+		}
+		res, err := cl.Submit(ctx, batch)
+		if err != nil {
+			fatal(err)
+		}
+		accepted = append(accepted, batch[:res.Accepted]...)
+		if res.Shed > 0 {
+			shedBatches++
+		}
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if st.Shed < prevShed {
+			return fail("shed count went backwards: %d -> %d", prevShed, st.Shed)
+		}
+		prevShed = st.Shed
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	if shedBatches == 0 {
+		return fail("an offered rate 5x capacity never shed")
+	}
+	if peak > smokeCeiling {
+		return fail("peak heap %d B under overload exceeds the %d B ceiling", peak, int64(smokeCeiling))
+	}
+
+	// The shed path itself must answer 429 with a Retry-After hint.
+	resp, err := http.Post(hs.URL+"/jobs", "application/x-ndjson",
+		strings.NewReader(`{"Release":19.95,"Size":1}`+"\n"))
+	if err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		return fail("status %d while shedding, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		return fail("429 carries no Retry-After header")
+	}
+
+	// A quiet period (much later release) drains the fluid backlog
+	// below the hysteresis floor and admission reopens.
+	late := []treesched.Job{{Release: 1000, Size: 1}}
+	res, err := cl.Submit(ctx, late)
+	if err != nil {
+		fatal(err)
+	}
+	if res.Accepted != 1 {
+		return fail("admission did not reopen after the backlog drained: accepted=%d shed=%d", res.Accepted, res.Shed)
+	}
+	accepted = append(accepted, late...)
+
+	final, err := cl.Drain(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	if final.Completed != len(accepted) || final.Accepted != len(accepted) {
+		return fail("drain completed=%d accepted=%d, want %d (every accepted job, no shed job)",
+			final.Completed, final.Accepted, len(accepted))
+	}
+	if final.Shed == 0 {
+		return fail("final stats lost the shed count")
+	}
+	<-streamDone
+
+	// Byte-identity: the accepted subset, re-IDed densely (the dense
+	// IDs the daemon assigned at admission), replays through the
+	// offline streaming pipeline to the same NDJSON.
+	dense := make([]treesched.Job, len(accepted))
+	copy(dense, accepted)
+	for i := range dense {
+		dense[i].ID = i
+	}
+	in, err := sc.Build()
+	if err != nil {
+		fatal(err)
+	}
+	var want bytes.Buffer
+	opts := in.Opts
+	opts.RetainJobs = 1
+	opts.Sink = treesched.NewNDJSONSink(&want)
+	if _, err := treesched.RunStream(in.Tree, treesched.NewTraceSource(&treesched.Trace{Jobs: dense}), in.Assigner, opts); err != nil {
+		fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		return fail("daemon completions differ from the offline replay of the accepted trace (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	fmt.Fprintf(os.Stderr, "bench: serve smoke OK: accepted %d, shed %d (429 + Retry-After), drained clean, completions byte-identical to the offline replay\n",
+		len(accepted), final.Shed)
+	return 0
 }
 
 func fatal(err error) {

@@ -1,0 +1,154 @@
+// Command treeschedd is the scheduler-as-a-service daemon: a
+// long-lived HTTP server wrapping the streaming engine for online
+// dispatch. Jobs arrive as NDJSON over POST /jobs, pass a bounded
+// admission queue with watermark-based load shedding (429 +
+// Retry-After under overload), and completions stream back over GET
+// /completions as NDJSON byte-identical to an offline streaming run
+// of the accepted trace.
+//
+// Usage:
+//
+//	treeschedd -listen 127.0.0.1:7077 -scenario serve.json \
+//	           [-queue 1024] [-shed-backlog 500] [-retry-after 1s] \
+//	           [-stall-timeout 30s] [-max-line 1048576] [-addr-file path]
+//
+// The scenario must be a serve scenario (compact flag "serve", e.g.
+// "topo=fattree:2,2,2 speed=1.5 serve"): it fixes the topology,
+// speeds, policy and assigner, and the workload arrives from clients.
+// Without -scenario the default is "topo=fattree:2,2,2 speed=1.5
+// serve".
+//
+// SIGINT/SIGTERM (or POST /drain) trigger a graceful drain: admission
+// stops (503), every accepted job runs to completion, completion
+// streams flush and close, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"treesched/internal/scenario"
+	"treesched/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process boundary (0 ok, 1 runtime error, 2
+// flag error). It returns once the daemon has fully drained.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("treeschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
+	scenarioPath := fs.String("scenario", "", "serve scenario file (JSON or compact form); default topo=fattree:2,2,2 speed=1.5 serve")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = default 1024)")
+	shedBacklog := fs.Float64("shed-backlog", 0, "load-shedding watermark in units of work (0 = queue-bound only)")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint returned with 429")
+	stallTimeout := fs.Duration("stall-timeout", 30*time.Second, "per-line read deadline on job submissions")
+	maxLine := fs.Int("max-line", 1<<20, "max NDJSON line length in a job submission (bytes)")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for port 0)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc := &scenario.Scenario{Topology: scenario.NewSpec("fattree", 2, 2, 2), Speed: scenario.Speed{Uniform: 1.5}}
+	sc.Engine.Serve = true
+	if *scenarioPath != "" {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "treeschedd: %v\n", err)
+			return 1
+		}
+		if sc, err = scenario.Load(data); err != nil {
+			fmt.Fprintf(stderr, "treeschedd: %v\n", err)
+			return 1
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Scenario:     sc,
+		QueueDepth:   *queue,
+		ShedBacklog:  *shedBacklog,
+		RetryAfter:   *retryAfter,
+		StallTimeout: *stallTimeout,
+		MaxLineBytes: *maxLine,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, "treeschedd: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "treeschedd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(stderr, "treeschedd: %v\n", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "treeschedd: %v\n", err)
+			ln.Close()
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "treeschedd: serving on http://%s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Completion streams are long-lived, so no blanket write
+		// timeout; header reads are bounded to shed dead dials.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	// Wait for a drain trigger: a signal, a POST /drain (engine done),
+	// or the HTTP listener dying.
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "treeschedd: %v: draining\n", sig)
+	case <-srv.Done():
+	case err := <-httpDone:
+		fmt.Fprintf(stderr, "treeschedd: http: %v\n", err)
+		srv.Drain()
+		return 1
+	}
+
+	code := 0
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintf(stderr, "treeschedd: drain: %v\n", err)
+		code = 1
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "treeschedd: drained: accepted=%d completed=%d shed=%d rejected=%d\n",
+		st.Accepted, st.Completed, st.Shed, st.Rejected)
+
+	// Let in-flight handlers (stats polls, completion readers seeing
+	// the close) finish, then stop serving.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	if err := <-httpDone; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "treeschedd: http: %v\n", err)
+		code = 1
+	}
+	return code
+}

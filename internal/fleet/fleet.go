@@ -40,6 +40,21 @@ import (
 	"treesched/internal/workload"
 )
 
+// UnsupportedError reports a scenario feature the fleet layer
+// deliberately refuses to run — typed, like the engine's
+// StuckError/InternalError family, so callers can branch on the
+// rejection with errors.As instead of matching message strings.
+type UnsupportedError struct {
+	// Feature names the rejected capability (e.g. "packetized runs").
+	Feature string
+	// Reason says why the fleet cannot honor it.
+	Reason string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("fleet: %s not supported: %s", e.Feature, e.Reason)
+}
+
 // Options tunes a fleet run beyond what the scenario describes.
 type Options struct {
 	// Workers is the number of trees simulated concurrently (0 or 1 =
@@ -124,16 +139,16 @@ func Run(sc *scenario.Scenario, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("fleet: scenario has no fleet spec (single-tree scenarios run through scenario.Build)")
 	}
 	if sc.RNG == "legacy" {
-		return nil, fmt.Errorf("fleet: fleets require rng keyed (there is no legacy fleet draw order to preserve)")
+		return nil, &UnsupportedError{Feature: "rng legacy", Reason: "fleets require rng keyed (there is no legacy fleet draw order to preserve)"}
 	}
 	if sc.Engine.Packetized {
-		return nil, fmt.Errorf("fleet: packetized runs are not supported")
+		return nil, &UnsupportedError{Feature: "packetized runs", Reason: "per-packet completions would need fleet-level job accounting the router does not model"}
 	}
 	if sc.Workload.Unrelated != nil || len(sc.Workload.RelatedSpeeds) > 0 {
-		return nil, fmt.Errorf("fleet: per-leaf workloads (unrelated/related) are not supported: trees may have different leaf counts")
+		return nil, &UnsupportedError{Feature: "per-leaf workloads (unrelated/related)", Reason: "trees may have different leaf counts"}
 	}
 	if len(sc.Workload.Jobs) > 0 && sc.Workload.MaxWeight > 0 {
-		return nil, fmt.Errorf("fleet: inline jobs with max_weight are not supported")
+		return nil, &UnsupportedError{Feature: "inline jobs with max_weight", Reason: "weight assignment would redraw the inline jobs"}
 	}
 	n, err := fl.NumTrees()
 	if err != nil {

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -225,22 +226,59 @@ func TestEmptyTree(t *testing.T) {
 // TestRunValidation: the fleet layer rejects what it cannot keep
 // deterministic or meaningful.
 func TestRunValidation(t *testing.T) {
-	reject := func(mutate func(*scenario.Scenario)) {
+	reject := func(typed bool, mutate func(*scenario.Scenario)) {
 		t.Helper()
 		sc := fleetScenario(t, "topo=star:4 n=10 size=uniform:1,4 load=0.5 fleet=2")
 		mutate(sc)
-		if _, err := Run(sc, Options{}); err == nil {
+		_, err := Run(sc, Options{})
+		if err == nil {
 			t.Fatal("Run accepted an invalid fleet scenario")
 		}
+		var ue *UnsupportedError
+		if got := errors.As(err, &ue); got != typed {
+			t.Fatalf("errors.As(err, *UnsupportedError) = %v, want %v for %q", got, typed, err)
+		}
+		if typed && (ue.Feature == "" || ue.Reason == "") {
+			t.Fatalf("UnsupportedError missing feature/reason: %+v", ue)
+		}
 	}
-	reject(func(sc *scenario.Scenario) { sc.Fleet = nil })
-	reject(func(sc *scenario.Scenario) { sc.RNG = "legacy" })
-	reject(func(sc *scenario.Scenario) { sc.Engine.Packetized = true })
-	reject(func(sc *scenario.Scenario) { sc.Workload.Unrelated = &scenario.Unrelated{Lo: 0.5, Hi: 2} })
-	reject(func(sc *scenario.Scenario) { sc.Workload.RelatedSpeeds = []float64{1, 2} })
-	reject(func(sc *scenario.Scenario) { sc.Fleet.Policy = "zeta" })
-	reject(func(sc *scenario.Scenario) { sc.Fleet.Trees = 2; sc.Fleet.Topos = []scenario.Spec{{Name: "star", Args: []float64{4}}} })
-	reject(func(sc *scenario.Scenario) { sc.Topology = scenario.Spec{}; sc.Fleet.Topos = nil })
+	// Structurally invalid scenarios are plain errors ...
+	reject(false, func(sc *scenario.Scenario) { sc.Fleet = nil })
+	reject(false, func(sc *scenario.Scenario) { sc.Fleet.Policy = "zeta" })
+	reject(false, func(sc *scenario.Scenario) {
+		sc.Fleet.Trees = 2
+		sc.Fleet.Topos = []scenario.Spec{{Name: "star", Args: []float64{4}}}
+	})
+	reject(false, func(sc *scenario.Scenario) { sc.Topology = scenario.Spec{}; sc.Fleet.Topos = nil })
+	// ... while valid-but-unsupported features carry the typed
+	// rejection so callers can branch on it.
+	reject(true, func(sc *scenario.Scenario) { sc.RNG = "legacy" })
+	reject(true, func(sc *scenario.Scenario) { sc.Engine.Packetized = true })
+	reject(true, func(sc *scenario.Scenario) { sc.Workload.Unrelated = &scenario.Unrelated{Lo: 0.5, Hi: 2} })
+	reject(true, func(sc *scenario.Scenario) { sc.Workload.RelatedSpeeds = []float64{1, 2} })
+	reject(true, func(sc *scenario.Scenario) {
+		sc.Workload.Jobs = []workload.Job{{ID: 0, Release: 0, Size: 1}}
+		sc.Workload.N = 0
+		sc.Workload.Size = scenario.Spec{}
+		sc.Workload.MaxWeight = 3
+	})
+}
+
+// TestPacketizedRejectionIsBranchable pins the contract the ROADMAP's
+// packetized-fleet follow-on needs: a caller probing whether this
+// build supports packetized fleets can branch on the typed error
+// without parsing the message.
+func TestPacketizedRejectionIsBranchable(t *testing.T) {
+	sc := fleetScenario(t, "topo=star:4 n=10 size=uniform:1,4 load=0.5 fleet=2")
+	sc.Engine.Packetized = true
+	_, err := Run(sc, Options{})
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("packetized rejection is not an *UnsupportedError: %v", err)
+	}
+	if ue.Feature != "packetized runs" {
+		t.Fatalf("packetized rejection names feature %q", ue.Feature)
+	}
 }
 
 // TestTreeStreamsDiffer: sibling trees draw genuinely different fault

@@ -12,6 +12,7 @@ import (
 	"treesched/internal/faults"
 	"treesched/internal/rng"
 	"treesched/internal/scenario"
+	"treesched/internal/sim"
 	"treesched/internal/tree"
 	"treesched/internal/workload"
 )
@@ -22,70 +23,60 @@ import (
 const spillFactor = 2.0
 
 type router struct {
-	policy  string
-	caps    []float64
-	backlog []float64 // estimated unserved work per tree
-	last    []float64 // time each backlog estimate was advanced to
-	rr      int
+	policy string
+	// est holds one fluid backlog estimator per tree — the same
+	// incremental probe the serving daemon's admission controller
+	// runs (sim.BacklogEstimator): offered work draining at the
+	// tree's root capacity, blind to execution.
+	est []*sim.BacklogEstimator
+	rr  int
 }
 
 func newRouter(policy string, caps []float64) *router {
-	return &router{
-		policy:  policy,
-		caps:    caps,
-		backlog: make([]float64, len(caps)),
-		last:    make([]float64, len(caps)),
+	est := make([]*sim.BacklogEstimator, len(caps))
+	for i, c := range caps {
+		est[i] = sim.NewBacklogEstimator(c)
 	}
+	return &router{policy: policy, est: est}
 }
 
 // route picks the tree for job j and charges j's work to its backlog
 // estimate. Jobs must arrive in release order.
 func (ro *router) route(j workload.Job) int {
 	// Drain every estimate to the arrival instant.
-	for i := range ro.backlog {
-		d := ro.backlog[i] - (j.Release-ro.last[i])*ro.caps[i]
-		if d < 0 {
-			d = 0
-		}
-		ro.backlog[i] = d
-		ro.last[i] = j.Release
+	for _, e := range ro.est {
+		e.AdvanceTo(j.Release)
 	}
 	var k int
 	switch ro.policy {
 	case "rr":
 		k = ro.rr
-		ro.rr = (ro.rr + 1) % len(ro.caps)
+		ro.rr = (ro.rr + 1) % len(ro.est)
 	case "jsq":
 		k = ro.shortest()
 	case "local":
 		// Affinity first: the job's home is a stable hash of its ID.
 		// Spill to the shortest queue only when home is badly behind.
-		k = j.ID % len(ro.caps)
+		k = j.ID % len(ro.est)
 		best := ro.shortest()
-		if ro.drain(k, j.Size) > spillFactor*ro.drain(best, j.Size) {
+		if ro.est[k].DrainTime(j.Size) > spillFactor*ro.est[best].DrainTime(j.Size) {
 			k = best
 		}
 	default:
 		// Run validates the policy before routing a single job.
 		panic("fleet: unknown policy " + ro.policy)
 	}
-	ro.backlog[k] += j.Size
+	ro.est[k].Offer(j.Release, j.Size)
 	return k
 }
 
-// drain estimates how long tree i would take to clear its backlog
-// plus one more job of the given size.
-func (ro *router) drain(i int, size float64) float64 {
-	return (ro.backlog[i] + size) / ro.caps[i]
-}
-
-// shortest returns the tree with the minimum normalized backlog,
+// shortest returns the tree with the minimum estimated drain time,
 // lowest index on ties.
 func (ro *router) shortest() int {
 	k := 0
-	best := ro.backlog[0] / ro.caps[0]
-	for i := 1; i < len(ro.backlog); i++ {
-		if d := ro.backlog[i] / ro.caps[i]; d < best {
+	best := ro.est[0].DrainTime(0)
+	for i := 1; i < len(ro.est); i++ {
+		if d := ro.est[i].DrainTime(0); d < best {
 			best, k = d, i
 		}
 	}

@@ -20,8 +20,8 @@ import (
 // Keys: name topo process n size class load cap related unrelated
 // round maxweight policy assigner eps seed rng aseed speed speeds
 // horizon faults recovery fleet fleetpolicy trees shards split retain
-// and the flags packetized instrument scanqueue slices stream. Inline
-// fault events, like inline jobs, are JSON-only. trees= lists
+// and the flags packetized instrument scanqueue slices stream serve.
+// Inline fault events, like inline jobs, are JSON-only. trees= lists
 // per-tree topology specs separated by semicolons
 // (trees=fattree:2,2,2;star:8).
 
@@ -155,6 +155,9 @@ func (sc *Scenario) Compact() (string, error) {
 	if sc.Engine.Stream {
 		tok = append(tok, "stream")
 	}
+	if sc.Engine.Serve {
+		tok = append(tok, "serve")
+	}
 	return strings.Join(tok, " "), nil
 }
 
@@ -194,6 +197,8 @@ func ParseCompact(input string) (*Scenario, error) {
 				sc.Engine.RecordSlices = true
 			case "stream":
 				sc.Engine.Stream = true
+			case "serve":
+				sc.Engine.Serve = true
 			default:
 				return nil, fmt.Errorf("compact scenario: unknown flag %q", key)
 			}

@@ -39,8 +39,8 @@ func TestLegacyDrawOrder(t *testing.T) {
 	var jobs []workload.Job
 	tm := 0.0
 	for i := 0; i < 40; i++ {
-		tm += r.Exp(rate)              // draw 2i:   interarrival
-		size := r.Range(1, 16)         // draw 2i+1: size
+		tm += r.Exp(rate)      // draw 2i:   interarrival
+		size := r.Range(1, 16) // draw 2i+1: size
 		jobs = append(jobs, workload.Job{ID: i, Release: tm, Size: size})
 	}
 	for i := range jobs { // draws 80..119: weights

@@ -76,15 +76,20 @@ func TestFaultSpecInlineEventsJSONOnly(t *testing.T) {
 
 func TestFaultBuildErrors(t *testing.T) {
 	for name, mut := range map[string]func(*Scenario){
-		"unknown plan":        func(sc *Scenario) { sc.Faults.Plan = NewSpec("meteor", 3) },
-		"wrong arity":         func(sc *Scenario) { sc.Faults.Plan = NewSpec("outages", 3) },
-		"bad recovery":        func(sc *Scenario) { sc.Faults.Recovery = "pray" },
-		"empty spec":          func(sc *Scenario) { sc.Faults = &FaultSpec{} },
-		"plan and events":     func(sc *Scenario) { sc.Faults.Events = []faults.Event{{Kind: faults.Outage, Node: 1, Start: 0, End: 1}} },
+		"unknown plan": func(sc *Scenario) { sc.Faults.Plan = NewSpec("meteor", 3) },
+		"wrong arity":  func(sc *Scenario) { sc.Faults.Plan = NewSpec("outages", 3) },
+		"bad recovery": func(sc *Scenario) { sc.Faults.Recovery = "pray" },
+		"empty spec":   func(sc *Scenario) { sc.Faults = &FaultSpec{} },
+		"plan and events": func(sc *Scenario) {
+			sc.Faults.Events = []faults.Event{{Kind: faults.Outage, Node: 1, Start: 0, End: 1}}
+		},
 		"no survivor":         func(sc *Scenario) { sc.Faults.Plan = NewSpec("leafloss", 8, 0.5) },
 		"zero duration":       func(sc *Scenario) { sc.Faults.Plan = NewSpec("outages", 3, 0) },
 		"bad brownout factor": func(sc *Scenario) { sc.Faults.Plan = NewSpec("brownouts", 3, 8, 1.5) },
-		"invalid event":       func(sc *Scenario) { sc.Faults.Plan = Spec{}; sc.Faults.Events = []faults.Event{{Kind: faults.LeafLoss, Node: 1, Start: 0}} },
+		"invalid event": func(sc *Scenario) {
+			sc.Faults.Plan = Spec{}
+			sc.Faults.Events = []faults.Event{{Kind: faults.LeafLoss, Node: 1, Start: 0}}
+		},
 	} {
 		sc := faultySample()
 		mut(sc)

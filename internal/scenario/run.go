@@ -75,8 +75,19 @@ func (sc *Scenario) Build() (*Instance, error) {
 	if sc.Engine.RetainJobs < 0 {
 		return nil, fmt.Errorf("scenario: engine.retain_jobs must be >= 0, got %d", sc.Engine.RetainJobs)
 	}
-	if sc.Engine.Packetized && (sc.Engine.Stream || sc.Engine.RetainJobs > 0) {
+	if sc.Engine.Packetized && (sc.Engine.Stream || sc.Engine.RetainJobs > 0 || sc.Engine.Serve) {
 		return nil, fmt.Errorf("scenario: packetized runs do not support streaming")
+	}
+	if sc.Engine.Serve {
+		// A serve scenario carries no workload of its own: jobs arrive
+		// online through the daemon's admission queue, so any inline
+		// workload here would be silently ignored — reject it instead.
+		if w.N != 0 || len(w.Jobs) > 0 {
+			return nil, fmt.Errorf("scenario: serve scenarios take their workload from the daemon, not the scenario (drop n/jobs)")
+		}
+		if sc.Faults != nil && sc.Faults.Plan.Name != "" {
+			return nil, fmt.Errorf("scenario: serve scenarios cannot use plan-based faults (plans are scaled to a trace span that does not exist online; list faults.events explicitly)")
+		}
 	}
 	// One rng partition per scenario. In the default legacy mode the
 	// partition is a single shared stream: workload generation draws
@@ -94,7 +105,7 @@ func (sc *Scenario) Build() (*Instance, error) {
 		return nil, err
 	}
 	var tr *workload.Trace
-	if !sc.lazyStreamable(&w) {
+	if !sc.Engine.Serve && !sc.lazyStreamable(&w) {
 		tr, err = w.GenerateRNG(p)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: workload: %w", err)
@@ -188,6 +199,9 @@ func (in *Instance) NewAssigner() (sim.Assigner, error) {
 // store-and-forward per the scenario's engine options) on a fresh
 // engine.
 func (in *Instance) Run() (*sim.Result, error) {
+	if in.Scenario.Engine.Serve {
+		return nil, fmt.Errorf("scenario: serve scenarios are run through the serving layer (server.New or treeschedd)")
+	}
 	if in.Scenario.Engine.Packetized {
 		return sim.RunPacketized(in.Tree, in.Trace, in.Assigner, in.Opts)
 	}
@@ -221,6 +235,9 @@ type Runner struct {
 func NewRunner(sc *Scenario) (*Runner, error) {
 	if sc.Engine.Packetized {
 		return nil, fmt.Errorf("scenario: packetized runs have no warm path (use scenario.Run)")
+	}
+	if sc.Engine.Serve {
+		return nil, fmt.Errorf("scenario: serve scenarios are run through the serving layer (server.New or treeschedd)")
 	}
 	in, err := sc.Build()
 	if err != nil {

@@ -274,6 +274,12 @@ type Engine struct {
 	// and recycles engine task state at completion, so a streamed
 	// run's memory is independent of N jobs.
 	RetainJobs int `json:"retain_jobs,omitempty"`
+	// Serve declares the scenario for online dispatch: the workload
+	// arrives from outside (the treeschedd daemon's admission queue),
+	// so the scenario carries no trace of its own. Build resolves the
+	// tree, policy and assigner but generates nothing; Run and Runner
+	// reject serve scenarios — they are run through internal/server.
+	Serve bool `json:"serve,omitempty"`
 }
 
 // Scenario is one complete, serializable simulation setup: every

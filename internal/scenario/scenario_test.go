@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"treesched/internal/faults"
 	"treesched/internal/rng"
 	"treesched/internal/tree"
 	"treesched/internal/workload"
@@ -123,6 +124,12 @@ func sampleScenarios() []*Scenario {
 			Topology: NewSpec("line", 4),
 			Workload: Workload{Process: NewSpec("adversarial", 32), N: 200},
 			Engine:   Engine{Packetized: true},
+		},
+		{
+			Topology: NewSpec("fattree", 2, 2, 2),
+			Policy:   "srpt",
+			Speed:    Speed{Uniform: 1.5},
+			Engine:   Engine{Serve: true, RetainJobs: 1},
 		},
 	}
 }
@@ -349,5 +356,62 @@ func TestRunnerMatchesColdRun(t *testing.T) {
 				t.Fatalf("%s round %d: warm stats %+v != cold %+v", asg, round, warm.Stats, cold.Stats)
 			}
 		}
+	}
+}
+
+func TestServeScenarios(t *testing.T) {
+	serve := func() *Scenario {
+		return &Scenario{Topology: NewSpec("fattree", 2, 2, 2), Engine: Engine{Serve: true}}
+	}
+
+	in, err := serve().Build()
+	if err != nil {
+		t.Fatalf("serve Build: %v", err)
+	}
+	if in.Trace != nil {
+		t.Fatal("serve build materialized a trace")
+	}
+	if in.Assigner == nil {
+		t.Fatal("serve build resolved no assigner")
+	}
+	if _, err := in.Run(); err == nil {
+		t.Fatal("Instance.Run accepted a serve scenario")
+	}
+	if _, err := NewRunner(serve()); err == nil {
+		t.Fatal("NewRunner accepted a serve scenario")
+	}
+
+	// The daemon owns the workload: any workload spec here would be
+	// silently ignored, so Build rejects it.
+	gen := serve()
+	gen.Workload = Workload{N: 10, Size: NewSpec("uniform", 1, 4), Load: 0.5}
+	if _, err := gen.Build(); err == nil {
+		t.Fatal("serve scenario with a generated workload accepted")
+	}
+	inline := serve()
+	inline.Workload.Jobs = []workload.Job{{ID: 0, Size: 1}}
+	if _, err := inline.Build(); err == nil {
+		t.Fatal("serve scenario with inline jobs accepted")
+	}
+
+	// Plan-based faults scale to a trace span that does not exist
+	// online; explicit events know their own times and pass through.
+	planned := serve()
+	planned.Faults = &FaultSpec{Plan: NewSpec("outages", 2, 5)}
+	if _, err := planned.Build(); err == nil {
+		t.Fatal("serve scenario with a fault plan accepted")
+	}
+	explicit := serve()
+	explicit.Faults = &FaultSpec{Events: []faults.Event{{Kind: faults.Outage, Node: 1, Start: 0, End: 1}}}
+	if in, err := explicit.Build(); err != nil {
+		t.Fatalf("serve scenario with explicit fault events rejected: %v", err)
+	} else if in.Opts.Faults == nil {
+		t.Fatal("explicit fault events not compiled into Opts")
+	}
+
+	pk := serve()
+	pk.Engine.Packetized = true
+	if _, err := pk.Build(); err == nil {
+		t.Fatal("serve+packetized accepted")
 	}
 }

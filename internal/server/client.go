@@ -1,0 +1,194 @@
+// A small client for the daemon: NDJSON submission with
+// Retry-After-honoring backoff, stats, drain, and the completion
+// stream.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"treesched/internal/workload"
+)
+
+// Client talks to one treeschedd daemon.
+type Client struct {
+	// Base is the daemon's base URL (e.g. "http://127.0.0.1:7077").
+	Base string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Retries is how many times Submit re-attempts the unadmitted
+	// tail of a batch after a 429, sleeping the server's Retry-After
+	// between attempts. 0 means a shed batch returns immediately with
+	// Shed set — the right mode when the caller generates later
+	// releases itself, since re-submitting the same releases cannot
+	// drain the server's fluid backlog (see Config.RetryAfter).
+	Retries int
+	// Sleep is the backoff sleeper (time.Sleep when nil); injectable
+	// for tests.
+	Sleep func(time.Duration)
+}
+
+// SubmitResult sums a Submit call across its retry attempts.
+type SubmitResult struct {
+	// Accepted is the total number of jobs admitted; FirstID is the
+	// dense engine ID of the first one (-1 if none).
+	Accepted int
+	FirstID  int
+	// Shed is how many jobs remained unadmitted because the server
+	// was shedding when the attempts ran out. Shed > 0 is a normal
+	// outcome under overload, not an error.
+	Shed int
+	// Attempts counts POSTs made (1 without retries).
+	Attempts int
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Submit posts jobs as one NDJSON batch, retrying the unadmitted tail
+// on 429 up to Retries times. Jobs must be release-ordered and at or
+// after the server's admitted frontier. A non-nil error means the
+// submission failed (bad request, draining, transport); shedding with
+// retries exhausted is reported via SubmitResult.Shed instead.
+func (c *Client) Submit(ctx context.Context, jobs []workload.Job) (SubmitResult, error) {
+	total := SubmitResult{FirstID: -1}
+	remaining := jobs
+	for {
+		total.Attempts++
+		res, status, retryAfter, err := c.post(ctx, remaining)
+		if err != nil {
+			return total, err
+		}
+		total.Accepted += res.Accepted
+		if total.FirstID < 0 && res.FirstID >= 0 {
+			total.FirstID = res.FirstID
+		}
+		switch status {
+		case http.StatusOK:
+			return total, nil
+		case http.StatusTooManyRequests:
+			remaining = remaining[res.Accepted:]
+			if total.Attempts > c.Retries {
+				total.Shed = len(remaining)
+				return total, nil
+			}
+			c.sleep(retryAfter)
+		default:
+			return total, fmt.Errorf("server: submit: %s (HTTP %d)", res.Error, status)
+		}
+	}
+}
+
+// post makes one POST /jobs attempt.
+func (c *Client) post(ctx context.Context, jobs []workload.Job) (AdmitResult, int, time.Duration, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range jobs {
+		if err := enc.Encode(&jobs[i]); err != nil {
+			return AdmitResult{}, 0, 0, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/jobs", &buf)
+	if err != nil {
+		return AdmitResult{}, 0, 0, err
+	}
+	req.Header.Set("Content-Type", ndjsonType)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return AdmitResult{}, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var res AdmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return AdmitResult{}, resp.StatusCode, 0, fmt.Errorf("server: submit: decoding response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	retryAfter := time.Second
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return res, resp.StatusCode, retryAfter, nil
+}
+
+// Stats fetches /stats.
+func (c *Client) Stats(ctx context.Context) (StatsView, error) {
+	var v StatsView
+	err := c.getJSON(ctx, "/stats", &v)
+	return v, err
+}
+
+// Drain posts /drain and returns the final stats; it blocks until
+// every accepted job has completed.
+func (c *Client) Drain(ctx context.Context) (StatsView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/drain", nil)
+	if err != nil {
+		return StatsView{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return StatsView{}, err
+	}
+	defer resp.Body.Close()
+	var v StatsView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, fmt.Errorf("server: drain: decoding response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("server: drain failed (HTTP %d): %s", resp.StatusCode, v.Err)
+	}
+	return v, nil
+}
+
+// Completions opens the completion stream: the caller reads NDJSON
+// sim.JobMetrics lines from the returned reader until the daemon
+// drains (EOF). Close it to unsubscribe.
+func (c *Client) Completions(ctx context.Context) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/completions", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: completions: HTTP %d", resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

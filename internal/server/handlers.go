@@ -1,0 +1,182 @@
+// HTTP surface of the daemon. All job payloads are NDJSON
+// (application/x-ndjson): one compact workload.Job object per line in
+// requests, one sim.JobMetrics object per line on the completion
+// stream.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"treesched/internal/workload"
+)
+
+const ndjsonType = "application/x-ndjson"
+
+// Handler returns the daemon's HTTP mux:
+//
+//	POST /jobs        NDJSON job batch -> AdmitResult (200/400/429/503)
+//	GET  /stats       StatsView JSON
+//	GET  /healthz     200 while the engine is alive
+//	GET  /readyz      200 while admitting (503 draining or dead)
+//	GET  /completions NDJSON stream of completions until drain
+//	POST /drain       stop admission, finish accepted jobs, final StatsView
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleJobs)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /completions", s.handleCompletions)
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSONBody(w, v)
+}
+
+func writeJSONBody(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Every payload type here marshals; this is unreachable short
+		// of a programming error.
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// handleJobs admits an NDJSON batch job by job, in order. Admission
+// stops at the first shed or invalid job: everything before it is
+// admitted and stays admitted (the response's Accepted/FirstID say
+// exactly which), everything from it on is the client's to resubmit.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	// The stall guard here is a per-line connection read deadline, not
+	// workload's pump-goroutine stallReader: an abandoned read on an
+	// http request body holds the body's mutex, which would wedge the
+	// connection teardown. A deadline makes the blocked read itself
+	// return. (stallReader is for plain byte streams — pipes, files.)
+	lim := s.cfg.limits()
+	rc := http.NewResponseController(w)
+	deadline := func() { rc.SetReadDeadline(time.Now().Add(lim.Stall)) }
+	defer rc.SetReadDeadline(time.Time{})
+	src := workload.NewNDJSONSourceLimited(r.Body, workload.SourceLimits{MaxLineBytes: lim.MaxLineBytes})
+	res := AdmitResult{FirstID: -1}
+	fail := func(status int, err error) {
+		res.Error = err.Error()
+		writeJSON(w, status, res)
+	}
+	for {
+		deadline()
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		out, id, err := s.admit(j)
+		switch out {
+		case admitOK:
+			if res.FirstID < 0 {
+				res.FirstID = id
+			}
+			res.Accepted++
+		case admitShed:
+			res.Shed = 1
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.retryAfter().Seconds()))))
+			fail(http.StatusTooManyRequests, fmt.Errorf("server: shedding load (see /stats); job %d of the batch and everything after it were not admitted", res.Accepted))
+			return
+		case admitDraining:
+			fail(http.StatusServiceUnavailable, fmt.Errorf("server: draining; no new jobs"))
+			return
+		case admitDead:
+			fail(http.StatusServiceUnavailable, fmt.Errorf("server: engine failed (see /stats)"))
+			return
+		case admitInvalid:
+			fail(http.StatusBadRequest, fmt.Errorf("job %d of the batch: %w", res.Accepted, err))
+			return
+		}
+	}
+	if err := src.Err(); err != nil {
+		s.countRejected()
+		status := http.StatusBadRequest
+		var ne net.Error
+		if errors.Is(err, workload.ErrStalled) || (errors.As(err, &ne) && ne.Timeout()) {
+			status = http.StatusRequestTimeout
+			err = fmt.Errorf("server: submission stalled past %v: %w", lim.Stall, workload.ErrStalled)
+		}
+		if errors.Is(err, workload.ErrLineTooLong) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		fail(status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.Healthy() {
+		http.Error(w, "engine failed", http.StatusInternalServerError)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		http.Error(w, "not admitting", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// handleCompletions streams completions as NDJSON until the run
+// drains, the subscriber falls behind (dropped), or the client goes
+// away. Lines are the engine's own bytes: identical to what
+// sim.NDJSONSink writes offline.
+func (s *Server) handleCompletions(w http.ResponseWriter, r *http.Request) {
+	id, sub := s.subscribe()
+	defer s.unsubscribe(id)
+	w.Header().Set("Content-Type", ndjsonType)
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	for {
+		select {
+		case line, ok := <-sub.ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleDrain initiates (or joins) the graceful drain and responds
+// with the final stats once every accepted job has completed.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if err := s.Drain(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, s.Stats())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

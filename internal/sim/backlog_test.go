@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"treesched/internal/tree"
+)
+
+func TestRootCapacity(t *testing.T) {
+	tr := tree.FatTree(3, 1, 2)
+	if got := RootCapacity(tr); got != 3 {
+		t.Fatalf("RootCapacity(fattree:3,1,2) = %v, want 3", got)
+	}
+	fast := tr.WithUniformSpeed(1.5)
+	if got := RootCapacity(fast); got != 4.5 {
+		t.Fatalf("RootCapacity at speed 1.5 = %v, want 4.5", got)
+	}
+}
+
+func TestBacklogEstimatorDrain(t *testing.T) {
+	e := NewBacklogEstimator(2)
+	if b := e.Offer(0, 10); b != 10 {
+		t.Fatalf("backlog after first offer = %v, want 10", b)
+	}
+	// 3 time units at capacity 2 drain 6 of the 10.
+	e.AdvanceTo(3)
+	if b := e.Backlog(); b != 4 {
+		t.Fatalf("backlog at t=3 = %v, want 4", b)
+	}
+	// The drain never runs the estimate negative.
+	e.AdvanceTo(100)
+	if b := e.Backlog(); b != 0 {
+		t.Fatalf("backlog at t=100 = %v, want 0", b)
+	}
+	// ... and never runs backwards.
+	e.AdvanceTo(50)
+	if now := e.Now(); now != 100 {
+		t.Fatalf("frontier moved backwards to %v", now)
+	}
+	if dt := e.DrainTime(8); dt != 4 {
+		t.Fatalf("DrainTime(8) = %v, want 4", dt)
+	}
+}
+
+func TestBacklogEstimatorLateFirstRelease(t *testing.T) {
+	// A first release far from t=0 must not pre-drain work that was
+	// never offered: the frontier starts at the first observed time.
+	e := NewBacklogEstimator(1)
+	if b := e.Offer(1000, 5); b != 5 {
+		t.Fatalf("backlog after late first offer = %v, want 5", b)
+	}
+}
+
+func TestBacklogEstimatorStability(t *testing.T) {
+	// Offered rate 0.5 per unit time against capacity 1: stable.
+	e := NewBacklogEstimator(1)
+	for i := 0; i < 100; i++ {
+		e.Offer(float64(i), 0.5)
+	}
+	if u := e.Utilization(); !(u > 0.4 && u < 0.6) {
+		t.Fatalf("stable run utilization = %v, want ~0.5", u)
+	}
+	if !e.Stable() {
+		t.Fatal("stable run reported unstable")
+	}
+
+	// Offered rate 3 per unit time against capacity 1: unstable, and
+	// the backlog estimate grows linearly in the arrival count.
+	o := NewBacklogEstimator(1)
+	var prev float64
+	for i := 0; i < 100; i++ {
+		b := o.Offer(float64(i), 3)
+		if i > 0 && b <= prev {
+			t.Fatalf("unstable backlog not increasing at job %d: %v -> %v", i, prev, b)
+		}
+		prev = b
+	}
+	if o.Stable() {
+		t.Fatal("unstable run reported stable")
+	}
+	if u := o.Utilization(); !(u > 2.9 && u < 3.2) {
+		t.Fatalf("unstable run utilization = %v, want ~3", u)
+	}
+}
+
+func TestBacklogEstimatorInstantBurst(t *testing.T) {
+	// Everything at one instant: no span to amortize over, so any
+	// offered work is an overload signal.
+	e := NewBacklogEstimator(4)
+	if u := e.Utilization(); u != 0 {
+		t.Fatalf("empty estimator utilization = %v, want 0", u)
+	}
+	e.Offer(5, 1)
+	e.Offer(5, 1)
+	if u := e.Utilization(); !math.IsInf(u, 1) {
+		t.Fatalf("instant-burst utilization = %v, want +Inf", u)
+	}
+	if e.Stable() {
+		t.Fatal("instant burst reported stable")
+	}
+}
+
+func TestBacklogEstimatorBadCapacity(t *testing.T) {
+	for _, c := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBacklogEstimator(%v) did not panic", c)
+				}
+			}()
+			NewBacklogEstimator(c)
+		}()
+	}
+}

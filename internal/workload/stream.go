@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"treesched/internal/rng"
 )
@@ -312,6 +313,139 @@ type NDJSONSource struct {
 // stream works — the decoder skips interleaving whitespace).
 func NewNDJSONSource(r io.Reader) *NDJSONSource {
 	return &NDJSONSource{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// ErrStalled reports that the byte stream feeding a limited
+// NDJSONSource failed to produce any bytes within the stall timeout.
+var ErrStalled = errors.New("workload: NDJSON byte stream stalled")
+
+// ErrLineTooLong reports a single NDJSON line exceeding the
+// configured byte limit.
+var ErrLineTooLong = errors.New("workload: NDJSON line exceeds the size limit")
+
+// SourceLimits guards the byte stream feeding an NDJSONSource. A
+// streaming run pulls jobs on the engine goroutine, so with no guard
+// a stalled or malicious byte stream — a client that stops sending
+// mid-line, or one enormous line — wedges the whole run (or buffers
+// without bound). Zero values disable the corresponding guard.
+type SourceLimits struct {
+	// MaxLineBytes bounds the bytes between consecutive newlines.
+	MaxLineBytes int
+	// Stall bounds how long a single read of the underlying stream
+	// may block before the source fails with ErrStalled.
+	Stall time.Duration
+}
+
+// NewNDJSONSourceLimited is NewNDJSONSource over a guarded reader:
+// reads that exceed lim.Stall fail the source with ErrStalled, and a
+// line longer than lim.MaxLineBytes fails it with ErrLineTooLong
+// (both via errors.Is on Err). The stall guard pumps the underlying
+// reader on its own goroutine; after a stall that goroutine exits as
+// soon as the abandoned read returns, so callers should close the
+// underlying reader (an HTTP server closes request bodies when the
+// handler returns).
+func NewNDJSONSourceLimited(r io.Reader, lim SourceLimits) *NDJSONSource {
+	if lim.Stall > 0 {
+		r = newStallReader(r, lim.Stall)
+	}
+	if lim.MaxLineBytes > 0 {
+		r = &lineLimitReader{r: r, max: lim.MaxLineBytes}
+	}
+	return NewNDJSONSource(r)
+}
+
+// lineLimitReader fails with ErrLineTooLong once it has passed
+// through more than max bytes without seeing a newline.
+type lineLimitReader struct {
+	r   io.Reader
+	max int
+	run int // bytes since the last newline
+	err error
+}
+
+func (l *lineLimitReader) Read(p []byte) (int, error) {
+	if l.err != nil {
+		return 0, l.err
+	}
+	n, err := l.r.Read(p)
+	for _, b := range p[:n] {
+		if b == '\n' {
+			l.run = 0
+			continue
+		}
+		if l.run++; l.run > l.max {
+			l.err = fmt.Errorf("workload: NDJSON line longer than %d bytes: %w", l.max, ErrLineTooLong)
+			// Surface the bytes up to the limit so the decoder's
+			// position bookkeeping stays meaningful, then fail the
+			// next read.
+			return n, l.err
+		}
+	}
+	return n, err
+}
+
+// stallReader moves the underlying reads onto a pump goroutine so the
+// consumer can bound how long any single read may take. The pump owns
+// per-chunk buffers (a copy per read) — acceptable overhead for a
+// guard whose job is protecting a long-lived daemon from dead peers.
+type stallReader struct {
+	timeout  time.Duration
+	chunks   chan stallChunk
+	leftover []byte
+	err      error
+}
+
+type stallChunk struct {
+	data []byte
+	err  error
+}
+
+func newStallReader(r io.Reader, timeout time.Duration) *stallReader {
+	s := &stallReader{timeout: timeout, chunks: make(chan stallChunk, 4)}
+	go func() {
+		for {
+			buf := make([]byte, 16*1024)
+			n, err := r.Read(buf)
+			s.chunks <- stallChunk{data: buf[:n], err: err}
+			if err != nil {
+				close(s.chunks)
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *stallReader) Read(p []byte) (int, error) {
+	if len(s.leftover) > 0 {
+		n := copy(p, s.leftover)
+		s.leftover = s.leftover[n:]
+		return n, nil
+	}
+	if s.err != nil {
+		return 0, s.err
+	}
+	t := time.NewTimer(s.timeout)
+	defer t.Stop()
+	select {
+	case c, ok := <-s.chunks:
+		if !ok {
+			s.err = io.EOF
+			return 0, s.err
+		}
+		n := copy(p, c.data)
+		s.leftover = c.data[n:]
+		if c.err != nil && len(s.leftover) == 0 {
+			s.err = c.err
+		}
+		if n == 0 && c.err != nil {
+			return 0, c.err
+		}
+		return n, nil
+	case <-t.C:
+		s.err = fmt.Errorf("workload: no bytes within %v: %w", s.timeout, ErrStalled)
+		return 0, s.err
+	}
 }
 
 func (s *NDJSONSource) Next() (Job, bool) {

@@ -2,9 +2,13 @@ package workload
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"treesched/internal/rng"
 )
@@ -278,5 +282,99 @@ func TestSizeRandSplitsDraws(t *testing.T) {
 	}
 	if got := drain(t, src); !reflect.DeepEqual(got, a) {
 		t.Fatal("streamed partitioned Poisson differs from materialized")
+	}
+}
+
+// blockingReader yields its prefix, then blocks forever (until Close
+// releases the pending Read with io.EOF) — a dead peer in miniature.
+type blockingReader struct {
+	prefix  []byte
+	release chan struct{}
+	once    sync.Once
+}
+
+func newBlockingReader(prefix string) *blockingReader {
+	return &blockingReader{prefix: []byte(prefix), release: make(chan struct{})}
+}
+
+func (b *blockingReader) Read(p []byte) (int, error) {
+	if len(b.prefix) > 0 {
+		n := copy(p, b.prefix)
+		b.prefix = b.prefix[n:]
+		return n, nil
+	}
+	<-b.release
+	return 0, io.EOF
+}
+
+func (b *blockingReader) Close() error {
+	b.once.Do(func() { close(b.release) })
+	return nil
+}
+
+func TestNDJSONSourceLimitedStall(t *testing.T) {
+	r := newBlockingReader("{\"ID\":0,\"Release\":1,\"Size\":2}\n")
+	defer r.Close()
+	src := NewNDJSONSourceLimited(r, SourceLimits{Stall: 20 * time.Millisecond})
+	if _, ok := src.Next(); !ok {
+		t.Fatalf("prefix job should decode: %v", src.Err())
+	}
+	start := time.Now()
+	if _, ok := src.Next(); ok {
+		t.Fatal("stalled stream yielded a job")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall detection took far longer than the timeout")
+	}
+	if err := src.Err(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("Err() = %v, want ErrStalled", err)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("stalled source yielded another job")
+	}
+}
+
+func TestNDJSONSourceLimitedPartialLineStall(t *testing.T) {
+	// The peer died mid-object: the decoder is blocked wanting more
+	// bytes of job 1, and the guard must fail it rather than hang.
+	r := newBlockingReader("{\"ID\":0,\"Release\":1,\"Size\":2}\n{\"ID\":1,\"Rel")
+	defer r.Close()
+	src := NewNDJSONSourceLimited(r, SourceLimits{Stall: 20 * time.Millisecond})
+	if _, ok := src.Next(); !ok {
+		t.Fatalf("complete first job should decode: %v", src.Err())
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("half-written job decoded")
+	}
+	if err := src.Err(); !errors.Is(err, ErrStalled) {
+		t.Fatalf("Err() = %v, want ErrStalled", err)
+	}
+}
+
+func TestNDJSONSourceLimitedLineTooLong(t *testing.T) {
+	long := "{\"ID\":1,\"Release\":2,\"Size\":3,\"pad\":\"" + strings.Repeat("x", 4096) + "\"}\n"
+	src := NewNDJSONSourceLimited(
+		strings.NewReader("{\"ID\":0,\"Release\":1,\"Size\":2}\n"+long),
+		SourceLimits{MaxLineBytes: 256})
+	if _, ok := src.Next(); !ok {
+		t.Fatalf("short first line should decode: %v", src.Err())
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("oversized line decoded")
+	}
+	if err := src.Err(); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("Err() = %v, want ErrLineTooLong", err)
+	}
+}
+
+func TestNDJSONSourceLimitedZeroLimitsPassThrough(t *testing.T) {
+	// Zero limits mean no guard: behavior matches the plain source.
+	in := "{\"ID\":0,\"Release\":1,\"Size\":2}\n{\"ID\":1,\"Release\":2,\"Size\":3}\n"
+	tr, err := Collect(NewNDJSONSourceLimited(strings.NewReader(in), SourceLimits{}))
+	if err != nil {
+		t.Fatalf("unguarded source failed: %v", err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("collected %d jobs, want 2", len(tr.Jobs))
 	}
 }

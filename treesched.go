@@ -10,6 +10,7 @@ import (
 	"treesched/internal/rng"
 	"treesched/internal/scenario"
 	"treesched/internal/sched"
+	"treesched/internal/server"
 	"treesched/internal/sim"
 	"treesched/internal/tree"
 	"treesched/internal/workload"
@@ -309,6 +310,38 @@ func RunStreamOn(s *Sim, src ArrivalSource, asg Assigner) (*Result, error) {
 func ReplayStreamOn(s *Sim, src ArrivalSource, asg Assigner) (int, error) {
 	return sim.ReplayStreamOn(s, src, asg)
 }
+
+// Serving layer: the scheduler-as-a-service daemon underneath
+// cmd/treeschedd. A Server wraps the streaming engine behind a
+// bounded admission queue with watermark-based load shedding and a
+// graceful drain; the jobs it accepts complete byte-identically to an
+// offline RunStream of the same trace on the same serve scenario.
+type (
+	// Server is the daemon core: admission queue, engine goroutine and
+	// completion fan-out. Attach (*Server).Handler() to an
+	// http.Server; see cmd/treeschedd for the full lifecycle.
+	Server = server.Server
+	// ServerConfig sizes a daemon (serve scenario, queue depth, shed
+	// watermark, Retry-After hint, NDJSON stream guards).
+	ServerConfig = server.Config
+	// ServerStats is the daemon's /stats document.
+	ServerStats = server.StatsView
+	// ServerAdmitResult is the daemon's answer to one NDJSON job
+	// batch: the accepted prefix, its first dense ID, and whether the
+	// batch hit the load shedder.
+	ServerAdmitResult = server.AdmitResult
+	// ServerClient is the HTTP client for a running daemon, with
+	// optional Retry-After-honoring resubmission of shed batches.
+	ServerClient = server.Client
+	// ServerSubmitResult summarizes one ServerClient.Submit call
+	// (accepted count, shed tail, attempts used).
+	ServerSubmitResult = server.SubmitResult
+)
+
+// NewServer builds and starts the daemon core for a serve scenario
+// (Engine.Serve set). The engine goroutine runs until Drain, so
+// callers own calling Drain when done, on error paths included.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Fault injection: deterministic node outages, brown-outs and
 // permanent leaf loss, compiled into piecewise-constant speed
