@@ -34,12 +34,12 @@ bench:
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_7.json
+	$(GO) run ./cmd/bench -out BENCH_8.json
 
 # Rerun the kernels and fail (exit 3) if any regressed >25% vs the
 # checked-in record.
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_7.json
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_8.json
 
 # Assert the constant-memory streaming property: a 1M-job bounded-
 # retention run must keep its peak heap under a fixed ceiling and flat
@@ -56,7 +56,8 @@ fleet-smoke:
 # Assert the serving-layer overload contract: under 5x overload the
 # daemon must shed with 429 + Retry-After, keep the heap bounded,
 # reopen after a quiet period, and drain byte-identically to an
-# offline replay of the accepted trace. Exit 6 on failure.
+# offline replay of the accepted trace — and the warm clean path must
+# stay under the per-admitted-job malloc ceiling. Exit 6 on failure.
 serve-smoke:
 	$(GO) run ./cmd/bench -serve-smoke
 
@@ -67,6 +68,9 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzScenarioJSON -fuzztime=10s ./internal/scenario
 	$(GO) test -run=^$$ -fuzz=FuzzRoundToClass -fuzztime=10s ./internal/workload
 	$(GO) test -run=^$$ -fuzz=FuzzTraceValidate -fuzztime=10s ./internal/workload
+	$(GO) test -run=^$$ -fuzz=FuzzJobDecode -fuzztime=10s ./internal/workload
+	$(GO) test -run=^$$ -fuzz=FuzzJobEncode -fuzztime=10s ./internal/workload
+	$(GO) test -run=^$$ -fuzz=FuzzMetricsEncode -fuzztime=10s ./internal/sim
 
 # Everything CI needs: build, vet, race-clean short tests, a smoke
 # run of the benchmark harness (fast benchtime, throwaway output), and

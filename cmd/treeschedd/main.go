@@ -10,7 +10,11 @@
 //
 //	treeschedd -listen 127.0.0.1:7077 -scenario serve.json \
 //	           [-queue 1024] [-shed-backlog 500] [-retry-after 1s] \
-//	           [-stall-timeout 30s] [-max-line 1048576] [-addr-file path]
+//	           [-stall-timeout 30s] [-max-line 1048576] [-addr-file path] \
+//	           [-pprof 127.0.0.1:6060]
+//
+// -pprof exposes net/http/pprof on its own listener (never on the
+// serving address), off by default, for profiling the daemon live.
 //
 // The scenario must be a serve scenario (compact flag "serve", e.g.
 // "topo=fattree:2,2,2 speed=1.5 serve"): it fixes the topology,
@@ -31,6 +35,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stallTimeout := fs.Duration("stall-timeout", 30*time.Second, "per-line read deadline on job submissions")
 	maxLine := fs.Int("max-line", 1<<20, "max NDJSON line length in a job submission (bytes)")
 	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for port 0)")
+	pprofAddr := fs.String("pprof", "", "expose /debug/pprof on this separate listen address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -104,6 +110,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	fmt.Fprintf(stdout, "treeschedd: serving on http://%s\n", ln.Addr())
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling
+		// surface never rides on the serving address, and importing
+		// net/http/pprof registers nothing we serve (we never serve
+		// http.DefaultServeMux).
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "treeschedd: pprof: %v\n", err)
+			ln.Close()
+			return 1
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go psrv.Serve(pln)
+		defer psrv.Close()
+		fmt.Fprintf(stdout, "treeschedd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	hs := &http.Server{
 		Handler: srv.Handler(),

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -109,6 +111,87 @@ func TestDaemonRejectsOfflineScenarioFile(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "serve") {
 		t.Fatalf("error does not mention serve mode: %s", errb.String())
+	}
+}
+
+// syncBuf is a locked buffer for output the test reads while the
+// daemon goroutine is still writing.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestDaemonPprofFlag(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	var out, errb syncBuf
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{
+			"-listen", "127.0.0.1:0", "-addr-file", addrFile,
+			"-pprof", "127.0.0.1:0",
+		}, &out, &errb)
+	}()
+
+	// The pprof address is OS-assigned; scrape it from the startup log.
+	var pprofBase string
+	deadline := time.Now().Add(10 * time.Second)
+	for pprofBase == "" {
+		s := out.String()
+		if i := strings.Index(s, "pprof on http://"); i >= 0 {
+			rest := s[i+len("pprof on http://"):]
+			if j := strings.Index(rest, "/debug/pprof/"); j >= 0 {
+				pprofBase = "http://" + rest[:j]
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced the pprof listener; stdout: %s stderr: %s", out.String(), errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(pprofBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d, want 200", resp.StatusCode)
+	}
+
+	// The profiling surface must not leak onto the serving address.
+	b, err := os.ReadFile(addrFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainBase := "http://" + strings.TrimSpace(string(b))
+	resp, err = http.Get(mainBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof handlers exposed on the serving address")
+	}
+
+	cl := &server.Client{Base: mainBase}
+	if _, err := cl.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if c := <-code; c != 0 {
+		t.Fatalf("exit code %d, stderr: %s", c, errb.String())
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"treesched/internal/workload"
@@ -97,16 +98,32 @@ func (c *Client) Submit(ctx context.Context, jobs []workload.Job) (SubmitResult,
 	}
 }
 
-// post makes one POST /jobs attempt.
+// postBufs recycles Submit body buffers: a batch body can run to
+// hundreds of kilobytes, and pooling it keeps repeated submissions
+// from handing the garbage collector a fresh buffer per POST.
+var postBufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// post makes one POST /jobs attempt. The body is built with the
+// append codec (workload.AppendJob) into one pooled buffer — same
+// bytes as json.Encoder, without the per-job reflective marshal. The
+// buffer is sized for full-precision floats up front so a large
+// batch encodes into one allocation instead of a doubling cascade.
 func (c *Client) post(ctx context.Context, jobs []workload.Job) (AdmitResult, int, time.Duration, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	bp := postBufs.Get().(*[]byte)
+	defer postBufs.Put(bp)
+	if cap(*bp) < 128*len(jobs) {
+		*bp = make([]byte, 0, 128*len(jobs))
+	}
+	buf := (*bp)[:0]
 	for i := range jobs {
-		if err := enc.Encode(&jobs[i]); err != nil {
+		var err error
+		if buf, err = workload.AppendJob(buf, &jobs[i]); err != nil {
 			return AdmitResult{}, 0, 0, err
 		}
+		buf = append(buf, '\n')
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/jobs", &buf)
+	*bp = buf
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/jobs", bytes.NewReader(buf))
 	if err != nil {
 		return AdmitResult{}, 0, 0, err
 	}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"testing"
+	"time"
+
+	"treesched/internal/workload"
+)
+
+// spacedJobs builds n unit jobs whose releases are far enough apart
+// that job i completes (in virtual time) before job i+1 arrives — so
+// each injection surfaces the previous job's completion line, and the
+// last job's line surfaces only at drain.
+func spacedJobs(n int) []workload.Job {
+	jobs := make([]workload.Job, n)
+	for i := range jobs {
+		jobs[i] = workload.Job{Release: float64(i) * 1000, Size: 1}
+	}
+	return jobs
+}
+
+// lineReader pumps a completion stream's lines into a channel so the
+// test can assert on delivery timing without blocking.
+func lineReader(t *testing.T, cl *Client) <-chan string {
+	t.Helper()
+	stream, err := cl.Completions(context.Background())
+	if err != nil {
+		t.Fatalf("Completions: %v", err)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stream)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	return lines
+}
+
+func expectLines(t *testing.T, lines <-chan string, n int, what string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case ln, ok := <-lines:
+			if !ok {
+				t.Fatalf("%s: stream closed after %d of %d lines", what, i, n)
+			}
+			if ln == "" {
+				t.Fatalf("%s: empty completion line", what)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: saw %d of %d completion lines", what, i, n)
+		}
+	}
+}
+
+func expectNoLine(t *testing.T, lines <-chan string, what string) {
+	t.Helper()
+	select {
+	case ln, ok := <-lines:
+		if ok {
+			t.Fatalf("%s: unexpected completion line %q", what, ln)
+		}
+		t.Fatalf("%s: stream closed early", what)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// The chunk-size half of the fan-out latency bound: with FlushLines=4
+// and six spaced jobs in one submission, five completions surface
+// during injection — the first four flush as a full chunk, the fifth
+// via the idle flush when the engine blocks on the empty queue — and
+// the sixth only at drain.
+func TestFanoutFlushAtChunkSize(t *testing.T) {
+	sc := serveScenario(t, "topo=star:4 serve")
+	_, cl, _ := startDaemon(t, Config{Scenario: sc, FlushLines: 4})
+	lines := lineReader(t, cl)
+
+	if _, err := cl.Submit(context.Background(), spacedJobs(6)); err != nil {
+		t.Fatal(err)
+	}
+	expectLines(t, lines, 5, "before drain")
+	expectNoLine(t, lines, "last job before drain")
+
+	if _, err := cl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	expectLines(t, lines, 1, "after drain")
+}
+
+// The idle half of the bound: with a chunk size that six jobs can
+// never fill, buffered completions must still be delivered as soon as
+// the engine goes idle, not held until drain.
+func TestFanoutFlushOnIdle(t *testing.T) {
+	sc := serveScenario(t, "topo=star:4 serve")
+	_, cl, _ := startDaemon(t, Config{Scenario: sc, FlushLines: 1 << 20})
+	lines := lineReader(t, cl)
+
+	if _, err := cl.Submit(context.Background(), spacedJobs(2)); err != nil {
+		t.Fatal(err)
+	}
+	expectLines(t, lines, 1, "idle flush before drain")
+
+	if _, err := cl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	expectLines(t, lines, 1, "after drain")
+}
+
+// A stalled subscriber must be dropped — counted exactly once — while
+// the engine keeps completing every admitted job.
+func TestSlowSubscriberDroppedOnce(t *testing.T) {
+	sc := serveScenario(t, "topo=star:4 serve")
+	srv, cl, _ := startDaemon(t, Config{Scenario: sc, FlushLines: 1, SubscriberBuffer: 1})
+
+	// Subscribe directly and never read: with one-line chunks and a
+	// one-chunk buffer, the second completion must drop us.
+	_, sub := srv.subscribe()
+
+	const n = 40
+	if _, err := cl.Submit(context.Background(), spacedJobs(n)); err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Drain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Completed != n {
+		t.Fatalf("engine completed %d of %d jobs with a stalled subscriber present", final.Completed, n)
+	}
+	if final.Dropped != 1 {
+		t.Fatalf("dropped count = %d, want exactly 1", final.Dropped)
+	}
+	if final.Subscribers != 0 {
+		t.Fatalf("dropped subscriber still counted live: %d", final.Subscribers)
+	}
+	if !sub.dropped {
+		t.Fatal("subscriber not marked dropped")
+	}
+	// The channel holds the one chunk that fit, then is closed — a
+	// second close anywhere would have panicked the engine goroutine.
+	if _, ok := <-sub.ch; !ok {
+		t.Fatal("buffered chunk lost on drop")
+	}
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("subscriber channel not closed after drop")
+	}
+}

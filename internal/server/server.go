@@ -20,10 +20,10 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treesched/internal/scenario"
@@ -36,6 +36,13 @@ import (
 // policy and assigner come from it; the workload comes from clients.
 type Config struct {
 	Scenario *scenario.Scenario
+	// Instance optionally supplies Scenario's prebuilt form (the
+	// result of Scenario.Build) so New does not rebuild the topology
+	// per daemon. The daemon treats it as read-only — the engine
+	// never mutates a built tree — so one build can be shared across
+	// daemons the same way RunStream shares a tree across runs. Must
+	// have been built from this config's Scenario.
+	Instance *scenario.Instance
 	// QueueDepth bounds the admission queue (jobs accepted but not
 	// yet injected). A full queue sheds. Default 1024.
 	QueueDepth int
@@ -59,10 +66,19 @@ type Config struct {
 	// StallTimeout bounds how long a submission body may go without
 	// producing bytes (workload.SourceLimits.Stall). Default 30s.
 	StallTimeout time.Duration
-	// SubscriberBuffer is the per-completion-subscriber channel depth;
-	// a subscriber that falls further behind is dropped so one slow
+	// SubscriberBuffer is the per-completion-subscriber channel depth,
+	// in chunks of up to FlushLines completion lines each; a
+	// subscriber that falls further behind is dropped so one slow
 	// reader cannot stall the engine. Default 256.
 	SubscriberBuffer int
+	// FlushLines caps how many completion lines the fan-out coalesces
+	// into one chunk before snapshotting stats and distributing to
+	// subscribers. Larger chunks amortize the per-completion lock and
+	// flush costs; smaller ones tighten delivery latency. Latency is
+	// bounded regardless: the fan-out also flushes whenever the engine
+	// is about to go idle on an empty admission queue, so a quiet
+	// stream never holds completed lines back. Default 64.
+	FlushLines int
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -97,6 +113,13 @@ func (c *Config) subscriberBuffer() int {
 		return 256
 	}
 	return c.SubscriberBuffer
+}
+
+func (c *Config) flushLines() int {
+	if c.FlushLines <= 0 {
+		return 64
+	}
+	return c.FlushLines
 }
 
 // StatsView is the live /stats payload: the admission controller's
@@ -154,8 +177,8 @@ type AdmitResult struct {
 }
 
 // subscriber is one /completions stream: a channel of ready-to-write
-// NDJSON lines, closed by the fanout when the run ends or the
-// subscriber falls behind.
+// NDJSON chunks (each one or more whole lines), closed by the fanout
+// when the run ends or the subscriber falls behind.
 type subscriber struct {
 	ch      chan []byte
 	dropped bool
@@ -171,9 +194,10 @@ type Server struct {
 	// mu serializes admission: the shed/drain state machine, dense ID
 	// assignment, the release frontier, the backlog estimator, and
 	// sends on in. Drain closes in under the same lock, so a send on
-	// a closed channel is impossible.
+	// a closed channel is impossible. Admission is batched — one lock
+	// acquisition stamps a whole read-ahead batch (admitBatch).
 	mu          sync.Mutex
-	in          chan workload.Job
+	in          chan []workload.Job
 	nextID      int
 	lastRelease float64
 	est         *sim.BacklogEstimator
@@ -182,6 +206,15 @@ type Server struct {
 	accepted    int
 	shed        int
 	rejected    int
+
+	// queued counts jobs admitted but not yet handed to the engine
+	// (the admission-queue depth, across the batches in flight).
+	// Incremented under mu at admission; decremented lock-free by the
+	// engine as it consumes jobs, which is what lets the capacity gate
+	// read it without talking to the engine goroutine.
+	queued atomic.Int64
+
+	fanout *fanoutSink
 
 	// statsMu guards the engine-side snapshot, written by the fanout
 	// sink on the engine goroutine at each completion.
@@ -198,6 +231,12 @@ type Server struct {
 	subsClosed bool
 	dropped    int
 
+	// nsubs mirrors len(subs) for the engine goroutine: the fan-out
+	// sink reads it lock-free at every completion to skip NDJSON
+	// encoding entirely while nobody is streaming — a daemon with no
+	// attached completion readers pays no marshal cost at all.
+	nsubs atomic.Int32
+
 	start time.Time
 	done  chan struct{}
 }
@@ -212,9 +251,15 @@ func New(cfg Config) (*Server, error) {
 	if !cfg.Scenario.Engine.Serve {
 		return nil, fmt.Errorf("server: scenario must set engine.serve (got an offline scenario)")
 	}
-	in, err := cfg.Scenario.Build()
-	if err != nil {
-		return nil, err
+	in := cfg.Instance
+	if in == nil {
+		built, err := cfg.Scenario.Build()
+		if err != nil {
+			return nil, err
+		}
+		in = built
+	} else if in.Scenario != cfg.Scenario {
+		return nil, fmt.Errorf("server: config.Instance was built from a different scenario")
 	}
 	opts := in.Opts
 	if opts.RetainJobs == 0 {
@@ -225,15 +270,22 @@ func New(cfg Config) (*Server, error) {
 		opts.RetainJobs = 1
 	}
 	s := &Server{
-		cfg:   cfg,
-		inst:  in,
-		in:    make(chan workload.Job, cfg.queueDepth()),
-		est:   sim.NewBacklogEstimator(sim.RootCapacity(in.Tree)),
-		subs:  make(map[int]*subscriber),
-		start: time.Now(),
-		done:  make(chan struct{}),
+		cfg:  cfg,
+		inst: in,
+		// Capacity queueDepth batches: every batch holds at least one
+		// queued job and the capacity gate keeps queued <= queueDepth,
+		// so at most queueDepth batches are ever in flight and the
+		// admission-side send can never block.
+		in:          make(chan []workload.Job, cfg.queueDepth()),
+		est:         sim.NewBacklogEstimator(sim.RootCapacity(in.Tree)),
+		subs:        make(map[int]*subscriber),
+		start:       time.Now(),
+		done:        make(chan struct{}),
 	}
-	opts.Sink = &fanoutSink{s: s}
+	// The chunk buffer is sized for full-precision metric lines up
+	// front; flush hands it off only when a subscriber received it.
+	s.fanout = &fanoutSink{s: s, max: cfg.flushLines(), buf: make([]byte, 0, 128*cfg.flushLines())}
+	opts.Sink = s.fanout
 	s.statsCopy.PerLeaf = make([]sim.LeafTally, len(in.Tree.Leaves()))
 	s.sim = sim.New(in.Tree, opts)
 	go s.engineLoop()
@@ -246,23 +298,87 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// queueSource adapts the admission queue to workload.ArrivalSource:
-// Next blocks until a job is admitted or the queue is closed by
-// Drain. Admission already validated everything injectStream checks,
-// so the engine loop cannot fail on client input.
+// admitReadAhead is how many submitted lines handleJobs reads ahead
+// into one admission batch: one read deadline refresh and one lock
+// acquisition per up-to-256 jobs instead of per job.
+const admitReadAhead = 256
+
+// freeBatches recycles admission batch slices between handlers and
+// engines, shared process-wide so a fresh daemon starts with its
+// predecessors' warm batches (a typed channel rather than sync.Pool:
+// batch slices would box on every Put).
+var freeBatches = make(chan []workload.Job, 16)
+
+// getBatch hands out a recycled (or fresh) admission batch slice.
+func (s *Server) getBatch() []workload.Job {
+	select {
+	case b := <-freeBatches:
+		return b[:0]
+	default:
+		return make([]workload.Job, 0, admitReadAhead)
+	}
+}
+
+// putBatch returns a batch slice for reuse.
+func (s *Server) putBatch(b []workload.Job) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case freeBatches <- b[:0]:
+	default:
+	}
+}
+
+// queueSource adapts the admission queue to workload.ArrivalSource,
+// unpacking admitted batches job by job. Next blocks until a batch is
+// admitted or the queue is closed by Drain. Admission already
+// validated everything injectStream checks, so the engine loop cannot
+// fail on client input. Before any blocking receive it flushes the
+// completion fan-out: the engine is about to go idle, so whatever the
+// last injections completed must not sit in the chunk buffer waiting
+// for the next arrival (the fan-out's latency bound).
 type queueSource struct {
-	ch <-chan workload.Job
+	s     *Server
+	batch []workload.Job
+	pos   int
 }
 
 func (q *queueSource) Next() (workload.Job, bool) {
-	j, ok := <-q.ch
-	return j, ok
+	for q.pos >= len(q.batch) {
+		if q.batch != nil {
+			q.s.putBatch(q.batch)
+			q.batch = nil
+		}
+		select {
+		case b, ok := <-q.s.in:
+			if !ok {
+				return workload.Job{}, false
+			}
+			q.batch, q.pos = b, 0
+		default:
+			// Queue empty: deliver buffered completions, then block.
+			q.s.fanout.flush()
+			b, ok := <-q.s.in
+			if !ok {
+				return workload.Job{}, false
+			}
+			q.batch, q.pos = b, 0
+		}
+	}
+	j := q.batch[q.pos]
+	q.pos++
+	q.s.queued.Add(-1)
+	return j, true
 }
 
 func (q *queueSource) Err() error { return nil }
 
 func (s *Server) engineLoop() {
-	res, err := sim.RunStreamOn(s.sim, &queueSource{ch: s.in}, s.inst.Assigner)
+	res, err := sim.RunStreamOn(s.sim, &queueSource{s: s}, s.inst.Assigner)
+	// Deliver the tail chunk (completions since the last flush) before
+	// the final stats copy and the subscriber close below.
+	s.fanout.flush()
 	s.statsMu.Lock()
 	if err != nil {
 		s.engineErr = err
@@ -288,30 +404,67 @@ func (s *Server) copyStats(acc *sim.StreamStats) {
 	s.statsCopy.PerLeaf = per[:copy(per, acc.PerLeaf)]
 }
 
-// fanoutSink runs on the engine goroutine at every completion: it
-// marshals the job's metrics once, snapshots the engine accumulator,
-// and distributes the line to every subscriber.
+// fanoutSink runs on the engine goroutine at every completion,
+// coalescing lines into chunk buffers so the per-completion costs —
+// stats snapshot under statsMu, subMu acquisition, one channel send
+// per subscriber, and the subscriber's per-write Flush — are paid
+// once per chunk instead of once per line. Lines are produced by the
+// pooled append codec (sim.AppendJobMetrics), byte-for-byte what
+// json.Encoder.Encode (sim.NDJSONSink) writes, which is what the
+// byte-identity contract is pinned against. Latency stays bounded: a
+// chunk flushes at max lines, and queueSource flushes whenever the
+// engine is about to block on an empty queue. Engine goroutine only
+// (streaming hooks force a single worker), so no locking around buf.
 type fanoutSink struct {
-	s *Server
+	s     *Server
+	buf   []byte
+	lines int
+	max   int
 }
 
 func (f *fanoutSink) Emit(m *sim.JobMetrics) error {
-	// json.Marshal plus '\n' is byte-for-byte what json.Encoder.Encode
-	// (sim.NDJSONSink) writes, which is what the byte-identity
-	// contract is pinned against.
-	line, err := json.Marshal(m)
-	if err != nil {
-		return err
+	// No subscribers, no marshal: lines emitted while nobody is
+	// streaming are unobservable (exactly as they were under per-line
+	// fan-out), so only the flush cadence — which keeps the stats
+	// snapshot fresh — is maintained.
+	if f.s.nsubs.Load() > 0 {
+		var err error
+		if f.buf, err = sim.AppendJobMetrics(f.buf, m); err != nil {
+			return err
+		}
+		f.buf = append(f.buf, '\n')
 	}
-	line = append(line, '\n')
+	if f.lines++; f.lines >= f.max {
+		f.flush()
+	}
+	return nil
+}
+
+// flush snapshots the stats accumulator and distributes the buffered
+// chunk to every subscriber. No-op on an empty buffer. Subscribers
+// share the chunk slice read-only; the buffer is reused only when no
+// subscriber received it.
+func (f *fanoutSink) flush() {
+	if f.lines == 0 {
+		return
+	}
 	s := f.s
 	s.statsMu.Lock()
 	s.copyStats(s.sim.StreamStats())
 	s.statsMu.Unlock()
+	chunk := f.buf
+	f.lines = 0
+	if len(chunk) == 0 {
+		// Every line of the chunk was skipped (no subscribers at emit
+		// time); the stats snapshot above was the flush's only job.
+		return
+	}
+	sent := 0
 	s.subMu.Lock()
 	for id, sub := range s.subs {
 		select {
-		case sub.ch <- line:
+		case sub.ch <- chunk:
+			sent++
 		default:
 			// The subscriber's buffer is full: drop it rather than
 			// block the engine. Closing the channel ends its handler.
@@ -321,8 +474,13 @@ func (f *fanoutSink) Emit(m *sim.JobMetrics) error {
 			s.dropped++
 		}
 	}
+	s.nsubs.Store(int32(len(s.subs)))
 	s.subMu.Unlock()
-	return nil
+	if sent == 0 {
+		f.buf = chunk[:0]
+	} else {
+		f.buf = nil
+	}
 }
 
 // subscribe registers a completion stream. The returned channel
@@ -340,6 +498,7 @@ func (s *Server) subscribe() (int, *subscriber) {
 	id := s.nextSub
 	s.nextSub++
 	s.subs[id] = sub
+	s.nsubs.Store(int32(len(s.subs)))
 	return id, sub
 }
 
@@ -351,6 +510,7 @@ func (s *Server) unsubscribe(id int) {
 	defer s.subMu.Unlock()
 	if sub, ok := s.subs[id]; ok {
 		delete(s.subs, id)
+		s.nsubs.Store(int32(len(s.subs)))
 		close(sub.ch)
 	}
 }
@@ -366,6 +526,7 @@ func (s *Server) closeSubscribers() {
 		close(sub.ch)
 		delete(s.subs, id)
 	}
+	s.nsubs.Store(0)
 }
 
 // admitOutcome classifies one job's admission attempt.
@@ -379,75 +540,117 @@ const (
 	admitDead
 )
 
-// admit runs the admission state machine for one job: validate,
-// advance the fluid frontier, apply the shed watermark with
-// hysteresis, and enqueue. Returns the outcome, the dense engine ID
-// assigned on admitOK (-1 otherwise), and the reason on admitInvalid.
-func (s *Server) admit(j workload.Job) (admitOutcome, int, error) {
-	if err := j.Validate(); err != nil {
-		s.countRejected()
-		return admitInvalid, -1, err
-	}
-	// Job.Validate lets a NaN size through (NaN fails no <= 0 check);
-	// a NaN would poison the backlog estimator and the engine, so
-	// close the gap here.
-	if math.IsNaN(j.Size) || math.IsInf(j.Size, 0) {
-		s.countRejected()
-		return admitInvalid, -1, fmt.Errorf("server: job has non-finite size %v", j.Size)
-	}
-	if j.LeafSizes != nil && len(j.LeafSizes) != len(s.inst.Tree.Leaves()) {
-		s.countRejected()
-		return admitInvalid, -1, fmt.Errorf("server: job has %d leaf sizes for a %d-leaf tree", len(j.LeafSizes), len(s.inst.Tree.Leaves()))
-	}
-	if o := int(j.Origin); o < 0 || o >= s.inst.Tree.NumNodes() {
-		s.countRejected()
-		return admitInvalid, -1, fmt.Errorf("server: job origin %d outside the %d-node tree", o, s.inst.Tree.NumNodes())
-	}
+// batchResult reports one admitBatch call: the admitted prefix, the
+// dense engine ID of its first job (-1 when empty), and — when the
+// whole batch was not admitted — the outcome that stopped admission
+// (admitOK means all of it went in) with the reason on admitInvalid.
+type batchResult struct {
+	accepted int
+	firstID  int
+	outcome  admitOutcome
+	err      error
+}
+
+// admitBatch runs the admission state machine over a whole read-ahead
+// batch under one lock acquisition: per job it validates, advances
+// the fluid frontier, applies the shed watermark with hysteresis and
+// the queue-depth capacity gate, and stamps the dense engine ID in
+// place. Admission stops at the first job that does not go in; the
+// admitted prefix batch[:accepted] is handed to the engine as one
+// slice (whose backing array the engine then owns — callers must not
+// reuse it). The per-job outcome order matches the old one-job admit
+// exactly, so partial-batch responses are unchanged.
+func (s *Server) admitBatch(batch []workload.Job) batchResult {
+	res := batchResult{firstID: -1, outcome: admitOK}
 	s.statsMu.Lock()
 	dead := s.engineErr != nil
 	s.statsMu.Unlock()
-	if dead {
-		return admitDead, -1, nil
-	}
 
+	depth := int64(s.cfg.queueDepth())
+	stop := func(out admitOutcome, err error) {
+		res.outcome, res.err = out, err
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return admitDraining, -1, nil
-	}
-	if j.Release < s.lastRelease {
-		s.rejected++
-		return admitInvalid, -1, fmt.Errorf("server: job released at %v, before the admitted frontier %v (releases must be non-decreasing across submissions)", j.Release, s.lastRelease)
-	}
-	// Every observed release advances the fluid clock, shed or not —
-	// that is what lets the estimate drain and admission reopen.
-	s.est.AdvanceTo(j.Release)
-	if wm := s.cfg.ShedBacklog; wm > 0 {
-		switch {
-		case s.shedding && s.est.Backlog() < wm/2:
-			s.shedding = false
-		case !s.shedding && s.est.Backlog() > wm:
-			s.shedding = true
+	for i := range batch {
+		j := &batch[i]
+		if err := j.Validate(); err != nil {
+			s.rejected++
+			stop(admitInvalid, err)
+			break
 		}
-		if s.shedding {
+		// Job.Validate lets a NaN size through (NaN fails no <= 0
+		// check); a NaN would poison the backlog estimator and the
+		// engine, so close the gap here.
+		if math.IsNaN(j.Size) || math.IsInf(j.Size, 0) {
+			s.rejected++
+			stop(admitInvalid, fmt.Errorf("server: job has non-finite size %v", j.Size))
+			break
+		}
+		if j.LeafSizes != nil && len(j.LeafSizes) != len(s.inst.Tree.Leaves()) {
+			s.rejected++
+			stop(admitInvalid, fmt.Errorf("server: job has %d leaf sizes for a %d-leaf tree", len(j.LeafSizes), len(s.inst.Tree.Leaves())))
+			break
+		}
+		if o := int(j.Origin); o < 0 || o >= s.inst.Tree.NumNodes() {
+			s.rejected++
+			stop(admitInvalid, fmt.Errorf("server: job origin %d outside the %d-node tree", o, s.inst.Tree.NumNodes()))
+			break
+		}
+		if dead {
+			stop(admitDead, nil)
+			break
+		}
+		if s.draining {
+			stop(admitDraining, nil)
+			break
+		}
+		if j.Release < s.lastRelease {
+			s.rejected++
+			stop(admitInvalid, fmt.Errorf("server: job released at %v, before the admitted frontier %v (releases must be non-decreasing across submissions)", j.Release, s.lastRelease))
+			break
+		}
+		// Every observed release advances the fluid clock, shed or not
+		// — that is what lets the estimate drain and admission reopen.
+		s.est.AdvanceTo(j.Release)
+		if wm := s.cfg.ShedBacklog; wm > 0 {
+			switch {
+			case s.shedding && s.est.Backlog() < wm/2:
+				s.shedding = false
+			case !s.shedding && s.est.Backlog() > wm:
+				s.shedding = true
+			}
+			if s.shedding {
+				s.shed++
+				stop(admitShed, nil)
+				break
+			}
+		}
+		if s.queued.Load() >= depth {
+			// Queue full: the engine is not keeping up with wall-clock
+			// arrival pressure. Shed rather than block the client.
 			s.shed++
-			return admitShed, -1, nil
+			stop(admitShed, nil)
+			break
 		}
+		j.ID = s.nextID
+		s.nextID++
+		s.lastRelease = j.Release
+		s.est.Offer(j.Release, j.Size)
+		s.accepted++
+		s.queued.Add(1)
+		if res.firstID < 0 {
+			res.firstID = j.ID
+		}
+		res.accepted++
 	}
-	j.ID = s.nextID
-	select {
-	case s.in <- j:
-	default:
-		// Queue full: the engine is not keeping up with wall-clock
-		// arrival pressure. Shed rather than block the client.
-		s.shed++
-		return admitShed, -1, nil
+	if res.accepted > 0 {
+		// Still under mu (Drain closes in under the same lock) and
+		// never blocking: the capacity gate bounds batches in flight
+		// below the channel capacity — see the comment at New.
+		s.in <- batch[:res.accepted]
 	}
-	s.nextID++
-	s.lastRelease = j.Release
-	s.est.Offer(j.Release, j.Size)
-	s.accepted++
-	return admitOK, j.ID, nil
+	s.mu.Unlock()
+	return res
 }
 
 func (s *Server) countRejected() {
@@ -484,7 +687,7 @@ func (s *Server) Stats() StatsView {
 	v.Accepted = s.accepted
 	v.Shed = s.shed
 	v.Rejected = s.rejected
-	v.QueueLen = len(s.in)
+	v.QueueLen = int(s.queued.Load())
 	v.Backlog = s.est.Backlog()
 	v.DrainTime = s.est.DrainTime(0)
 	u := s.est.Utilization()

@@ -1,0 +1,74 @@
+// Zero-allocation NDJSON encoding of JobMetrics. The serving layer's
+// completion fan-out and the NDJSON sink marshal one JobMetrics per
+// completed job; going through encoding/json costs a reflective walk
+// and a fresh []byte per job, which BENCH_7 showed dominating the
+// daemon's hot path. AppendJobMetrics writes the exact bytes
+// json.Marshal would produce — same field order, same float
+// formatting — into a caller-reused buffer instead. The equivalence
+// is not aspirational: TestMetricsEncodeMatchesStdlib and
+// FuzzMetricsEncode pin it byte for byte, so the daemon's
+// byte-identity contract (completion streams == offline RunStream
+// output) survives the codec swap.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// appendJSONFloat appends f formatted exactly as encoding/json
+// formats a float64: shortest representation, 'f' form except for
+// magnitudes below 1e-6 or at/above 1e21, with the exponent's leading
+// zero trimmed ("e-09" -> "e-9") to match ES6 number-to-string. f
+// must be finite (encoding/json rejects NaN/Inf; callers gate).
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// AppendJobMetrics appends m as one compact JSON object — the exact
+// bytes json.Marshal(m) produces — and returns the extended buffer.
+// No trailing newline. A non-finite float field is an error, mirroring
+// encoding/json's refusal to marshal NaN/Inf.
+func AppendJobMetrics(dst []byte, m *JobMetrics) ([]byte, error) {
+	if !finiteAll(m.Release, m.Completion, m.Flow, m.PathWork, m.Weight) {
+		return dst, fmt.Errorf("sim: JobMetrics for job %d has a non-finite field, refusing to encode", m.ID)
+	}
+	dst = append(dst, `{"ID":`...)
+	dst = strconv.AppendInt(dst, int64(m.ID), 10)
+	dst = append(dst, `,"Release":`...)
+	dst = appendJSONFloat(dst, m.Release)
+	dst = append(dst, `,"Completion":`...)
+	dst = appendJSONFloat(dst, m.Completion)
+	dst = append(dst, `,"Flow":`...)
+	dst = appendJSONFloat(dst, m.Flow)
+	dst = append(dst, `,"Leaf":`...)
+	dst = strconv.AppendInt(dst, int64(m.Leaf), 10)
+	dst = append(dst, `,"PathWork":`...)
+	dst = appendJSONFloat(dst, m.PathWork)
+	dst = append(dst, `,"Weight":`...)
+	dst = appendJSONFloat(dst, m.Weight)
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+func finiteAll(fs ...float64) bool {
+	for _, f := range fs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -25,18 +25,30 @@ type JobSink interface {
 
 // NDJSONSink writes one compact JSON object per completed job — the
 // on-disk counterpart of Result.Jobs for runs too large to hold it.
+// Lines are produced by the pooled append codec (AppendJobMetrics)
+// into one reused buffer, byte-identical to what json.Encoder.Encode
+// would write but allocation-free in steady state.
 type NDJSONSink struct {
-	enc *json.Encoder
+	w   io.Writer
+	buf []byte
 }
 
 // NewNDJSONSink wraps w. Callers keeping the writer (e.g. a bufio
 // buffer over a file) are responsible for flushing it after the run.
 func NewNDJSONSink(w io.Writer) *NDJSONSink {
-	return &NDJSONSink{enc: json.NewEncoder(w)}
+	return &NDJSONSink{w: w}
 }
 
 // Emit writes m as one JSON line.
-func (k *NDJSONSink) Emit(m *JobMetrics) error { return k.enc.Encode(m) }
+func (k *NDJSONSink) Emit(m *JobMetrics) error {
+	var err error
+	if k.buf, err = AppendJobMetrics(k.buf[:0], m); err != nil {
+		return err
+	}
+	k.buf = append(k.buf, '\n')
+	_, err = k.w.Write(k.buf)
+	return err
+}
 
 // LeafTally is one leaf machine's share of a streamed run.
 type LeafTally struct {

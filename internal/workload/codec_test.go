@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestAppendJobMatchesStdlib(t *testing.T) {
+	jobs := []Job{
+		{},
+		{ID: 3, Release: 1.5, Size: 2.0 / 3.0, Weight: 1, Origin: 4},
+		{ID: -1, Release: math.Copysign(0, -1), Size: 1e-7, Weight: 9.999999999999999e20},
+		{ID: 7, Release: 1e21, Size: 5e-324, LeafSizes: []float64{}, Weight: math.MaxFloat64},
+		{ID: 8, Release: 0.25, Size: 1, LeafSizes: []float64{1e-6, 1e21, 0.5}, Weight: 2, Origin: -3},
+	}
+	for _, j := range jobs {
+		got, err := AppendJob(nil, &j)
+		if err != nil {
+			t.Fatalf("AppendJob(%+v): %v", j, err)
+		}
+		want, err := json.Marshal(&j)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", j, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encode mismatch for %+v:\n got  %s\n want %s", j, got, want)
+		}
+	}
+}
+
+func TestAppendJobRejectsNonFinite(t *testing.T) {
+	for _, j := range []Job{
+		{Size: math.NaN()},
+		{Release: math.Inf(1), Size: 1},
+		{Size: 1, LeafSizes: []float64{1, math.Inf(-1)}},
+		{Size: 1, Weight: math.NaN()},
+	} {
+		if _, err := AppendJob(nil, &j); err == nil {
+			t.Fatalf("AppendJob accepted non-finite job %+v", j)
+		}
+	}
+}
+
+// The fast parser's contract: whenever it reports ok, its result
+// equals json.Unmarshal's on the same bytes; whenever the input is
+// anything the strict subset doesn't cover, it reports !ok and the
+// caller's stdlib fallback decides.
+func TestFastParseJobDifferential(t *testing.T) {
+	lines := []string{
+		// Canonical encoder output.
+		`{"ID":3,"Release":1.5,"Size":0.25,"LeafSizes":null,"Weight":1,"Origin":0}`,
+		`{"ID":0,"Release":0,"Size":1e-7,"LeafSizes":[1,2.5,3e20],"Weight":0,"Origin":-2}`,
+		`{"ID":-1,"Release":-0,"Size":1.0000000000000002,"LeafSizes":[],"Weight":2,"Origin":2147483647}`,
+		// Subsets, reordering, whitespace.
+		`{"ID":1,"Size":2}`,
+		`{"Size":2,"ID":1,"Release":3}`,
+		`{ "ID" : 5 , "Size" : 1.25 }`,
+		`  {"ID":9,"Size":3}  `,
+		`{}`,
+		// Inputs that must defer to the stdlib (unknown/dup/escaped
+		// keys, non-JSON number grammar, wrong types, trailing junk).
+		`{"ID":1,"id":2,"Size":3}`,
+		`{"ID":1,"ID":2}`,
+		`{"\u0049D":1}`,
+		`{"ID":0x10}`,
+		`{"Size":+1}`,
+		`{"Size":1.}`,
+		`{"Size":.5}`,
+		`{"Size":Infinity}`,
+		`{"Size":NaN}`,
+		`{"Size":1e}`,
+		`{"Size":01}`,
+		`{"Size":1e999}`,
+		`{"ID":1.5}`,
+		`{"ID":1e2}`,
+		`{"ID":"3"}`,
+		`{"Origin":2147483648}`,
+		`{"Origin":-2147483649}`,
+		`{"ID":99999999999999999999}`,
+		`{"LeafSizes":[1,]}`,
+		`{"LeafSizes":[1 2]}`,
+		`{"LeafSizes":{"a":1}}`,
+		`{"ID":1} {"ID":2}`,
+		`{"ID":1}x`,
+		`[1,2]`,
+		`null`,
+		`{"ID":1,}`,
+		`{"ID"}`,
+		``,
+	}
+	for _, line := range lines {
+		var fast Job
+		ok := fastParseJob([]byte(line), &fast)
+		var std Job
+		stdErr := json.Unmarshal([]byte(line), &std)
+		if !ok {
+			continue // fallback handles it; nothing to compare
+		}
+		if stdErr != nil {
+			t.Fatalf("fast parser accepted %q but stdlib rejects it: %v", line, stdErr)
+		}
+		if !reflect.DeepEqual(fast, std) {
+			t.Fatalf("decode mismatch for %q:\n fast %+v\n std  %+v", line, fast, std)
+		}
+	}
+}
+
+func TestFastParseJobAcceptsCanonicalFast(t *testing.T) {
+	// The bytes our own client emits must take the fast path, or the
+	// optimization is dead on arrival.
+	j := Job{ID: 12, Release: 3.5, Size: 1.25, LeafSizes: []float64{0.5, 2}, Weight: 2, Origin: 1}
+	line, err := AppendJob(nil, &j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Job
+	if !fastParseJob(line, &got) {
+		t.Fatalf("canonical line %s fell off the fast path", line)
+	}
+	if !reflect.DeepEqual(got, j) {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", got, j)
+	}
+}
+
+// FuzzJobDecode pins the fast parser's soundness over arbitrary
+// bytes: ok implies stdlib agreement, byte for byte of the result.
+func FuzzJobDecode(f *testing.F) {
+	f.Add([]byte(`{"ID":3,"Release":1.5,"Size":0.25,"LeafSizes":null,"Weight":1,"Origin":0}`))
+	f.Add([]byte(`{"ID":0,"Size":1e-7,"LeafSizes":[1,2.5,3e20]}`))
+	f.Add([]byte(`{"Size":+1}`))
+	f.Add([]byte(`{"ID":1,"ID":2}`))
+	f.Add([]byte(`{"Origin":2147483648}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		var fast Job
+		if !fastParseJob(line, &fast) {
+			return
+		}
+		var std Job
+		if err := json.Unmarshal(line, &std); err != nil {
+			t.Fatalf("fast parser accepted %q but stdlib rejects it: %v", line, err)
+		}
+		if !reflect.DeepEqual(fast, std) {
+			t.Fatalf("decode mismatch for %q:\n fast %+v\n std  %+v", line, fast, std)
+		}
+	})
+}
+
+// FuzzJobEncode pins AppendJob byte-for-byte against json.Marshal.
+func FuzzJobEncode(f *testing.F) {
+	f.Add(0, 0.0, 0.0, false, 0.0, 0.0, 0.0, int32(0))
+	f.Add(3, 1.5, 2.0/3.0, true, 1e-6, 1e21, 1.0, int32(-4))
+	f.Add(-1, math.Copysign(0, -1), 5e-324, true, math.MaxFloat64, 9.999999999999999e20, 0.1, int32(1<<30))
+	f.Fuzz(func(t *testing.T, id int, release, size float64, hasLeaves bool, l0, l1, weight float64, origin int32) {
+		j := Job{ID: id, Release: release, Size: size, Weight: weight, Origin: origin}
+		if hasLeaves {
+			j.LeafSizes = []float64{l0, l1}
+		}
+		got, err := AppendJob(nil, &j)
+		want, wantErr := json.Marshal(&j)
+		if (err != nil) != (wantErr != nil) {
+			t.Fatalf("error divergence for %+v: codec err=%v, stdlib err=%v", j, err, wantErr)
+		}
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("encode mismatch for %+v:\n got  %s\n want %s", j, got, want)
+		}
+	})
+}

@@ -9,6 +9,7 @@ package workload
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -303,7 +304,13 @@ func StreamNDJSON(src ArrivalSource, w io.Writer) (TraceStats, error) {
 // consumer's business (the engine's stream injector validates
 // incrementally).
 type NDJSONSource struct {
-	dec  *json.Decoder
+	dec *json.Decoder // generic mode: any JSON value stream
+	// Line mode (NewNDJSONSourceLimited): one object per line,
+	// decoded by the reflection-free fast path with a per-line
+	// json.Unmarshal fallback, reading through br with line as the
+	// reused scratch for lines longer than br's buffer.
+	br   *bufio.Reader
+	line []byte
 	err  error
 	i    int
 	last float64
@@ -336,14 +343,18 @@ type SourceLimits struct {
 	Stall time.Duration
 }
 
-// NewNDJSONSourceLimited is NewNDJSONSource over a guarded reader:
-// reads that exceed lim.Stall fail the source with ErrStalled, and a
-// line longer than lim.MaxLineBytes fails it with ErrLineTooLong
-// (both via errors.Is on Err). The stall guard pumps the underlying
-// reader on its own goroutine; after a stall that goroutine exits as
-// soon as the abandoned read returns, so callers should close the
-// underlying reader (an HTTP server closes request bodies when the
-// handler returns).
+// NewNDJSONSourceLimited is the guarded, line-framed variant: reads
+// that exceed lim.Stall fail the source with ErrStalled, and a line
+// longer than lim.MaxLineBytes fails it with ErrLineTooLong (both
+// via errors.Is on Err). Unlike NewNDJSONSource it requires one JSON
+// object per line — the framing the limits are defined over — which
+// lets it decode through the reflection-free fast path (fastParseJob)
+// with a per-line json.Unmarshal fallback owning all error and
+// acceptance semantics. The stall guard pumps the underlying reader
+// on its own goroutine; after a stall that goroutine exits as soon as
+// the abandoned read returns, so callers should close the underlying
+// reader (an HTTP server closes request bodies when the handler
+// returns).
 func NewNDJSONSourceLimited(r io.Reader, lim SourceLimits) *NDJSONSource {
 	if lim.Stall > 0 {
 		r = newStallReader(r, lim.Stall)
@@ -351,7 +362,7 @@ func NewNDJSONSourceLimited(r io.Reader, lim SourceLimits) *NDJSONSource {
 	if lim.MaxLineBytes > 0 {
 		r = &lineLimitReader{r: r, max: lim.MaxLineBytes}
 	}
-	return NewNDJSONSource(r)
+	return &NDJSONSource{br: bufio.NewReader(r)}
 }
 
 // lineLimitReader fails with ErrLineTooLong once it has passed
@@ -368,20 +379,28 @@ func (l *lineLimitReader) Read(p []byte) (int, error) {
 		return 0, l.err
 	}
 	n, err := l.r.Read(p)
-	for _, b := range p[:n] {
-		if b == '\n' {
-			l.run = 0
-			continue
+	// Walk newline-delimited segments with IndexByte instead of a
+	// per-byte loop: this guard sits on the daemon's hot admission
+	// path and scans every submitted byte.
+	rest := p[:n]
+	for {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			if l.run += len(rest); l.run > l.max {
+				break
+			}
+			return n, err
 		}
-		if l.run++; l.run > l.max {
-			l.err = fmt.Errorf("workload: NDJSON line longer than %d bytes: %w", l.max, ErrLineTooLong)
-			// Surface the bytes up to the limit so the decoder's
-			// position bookkeeping stays meaningful, then fail the
-			// next read.
-			return n, l.err
+		if l.run+i > l.max {
+			break
 		}
+		l.run = 0
+		rest = rest[i+1:]
 	}
-	return n, err
+	l.err = fmt.Errorf("workload: NDJSON line longer than %d bytes: %w", l.max, ErrLineTooLong)
+	// Surface the bytes read so far so the decoder's position
+	// bookkeeping stays meaningful, then fail the next read.
+	return n, l.err
 }
 
 // stallReader moves the underlying reads onto a pump goroutine so the
@@ -448,16 +467,76 @@ func (s *stallReader) Read(p []byte) (int, error) {
 	}
 }
 
+// readLine returns the next non-blank line (newline stripped) in
+// line mode, reusing s.line as scratch when a line outgrows the
+// bufio buffer. A final unterminated line before EOF still counts.
+func (s *NDJSONSource) readLine() ([]byte, error) {
+	for {
+		s.line = s.line[:0]
+		var out []byte
+		for {
+			frag, err := s.br.ReadSlice('\n')
+			if err == nil {
+				if len(s.line) == 0 {
+					out = frag[:len(frag)-1] // hot path: no copy
+					break
+				}
+				s.line = append(s.line, frag[:len(frag)-1]...)
+				out = s.line
+				break
+			}
+			if err == bufio.ErrBufferFull {
+				s.line = append(s.line, frag...)
+				continue
+			}
+			s.line = append(s.line, frag...)
+			if err == io.EOF && len(s.line) > 0 {
+				out = s.line
+				break
+			}
+			return nil, err
+		}
+		blank := true
+		for _, c := range out {
+			if c != ' ' && c != '\t' && c != '\r' {
+				blank = false
+				break
+			}
+		}
+		if !blank {
+			return out, nil
+		}
+	}
+}
+
 func (s *NDJSONSource) Next() (Job, bool) {
 	if s.err != nil {
 		return Job{}, false
 	}
 	var j Job
-	if err := s.dec.Decode(&j); err != nil {
-		if err != io.EOF {
-			s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
+	if s.br != nil {
+		line, err := s.readLine()
+		if err != nil {
+			if err != io.EOF {
+				s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
+			}
+			return Job{}, false
 		}
-		return Job{}, false
+		// Both slow paths live in their own functions so that only
+		// their Jobs escape (encoding/json takes the address through an
+		// interface); the fast path's j stays on the stack, which is
+		// what makes the warm admission path allocation-free.
+		if !fastParseJob(line, &j) {
+			var ok bool
+			if j, ok = s.slowParseLine(line); !ok {
+				return Job{}, false
+			}
+		}
+	} else {
+		var ok bool
+		if j, ok = s.decodeNext(); !ok {
+			return Job{}, false
+		}
 	}
 	if s.i > 0 && j.Release < s.last {
 		s.err = fmt.Errorf("workload: NDJSON job %d arrives at %v, before its predecessor at %v (releases must be non-decreasing)", s.i, j.Release, s.last)
@@ -465,6 +544,32 @@ func (s *NDJSONSource) Next() (Job, bool) {
 	}
 	s.last = j.Release
 	s.i++
+	return j, true
+}
+
+// slowParseLine is the strict-parser fallback: encoding/json owns the
+// acceptance and error semantics for every line the fast parser
+// declines (escapes, unusual number spellings, unknown fields,
+// malformed input).
+func (s *NDJSONSource) slowParseLine(line []byte) (Job, bool) {
+	var j Job
+	if err := json.Unmarshal(line, &j); err != nil {
+		s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
+		return Job{}, false
+	}
+	return j, true
+}
+
+// decodeNext is the generic (non-line) mode: one json.Decoder value
+// per call, whitespace-delimited like any JSON value stream.
+func (s *NDJSONSource) decodeNext() (Job, bool) {
+	var j Job
+	if err := s.dec.Decode(&j); err != nil {
+		if err != io.EOF {
+			s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
+		}
+		return Job{}, false
+	}
 	return j, true
 }
 
