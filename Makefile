@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race test-race-parallel bench bench-json bench-compare stream-smoke fleet-smoke serve-smoke fuzz-smoke ci experiments examples clean
+.PHONY: all build vet test test-short test-race test-race-parallel bench bench-json bench-compare bench-dispatch stream-smoke fleet-smoke serve-smoke fuzz-smoke ci experiments examples clean
 
 all: build vet test test-race
 
@@ -34,12 +34,18 @@ bench:
 
 # Regenerate the persistent benchmark record (see DESIGN.md §6).
 bench-json:
-	$(GO) run ./cmd/bench -out BENCH_8.json
+	$(GO) run ./cmd/bench -out BENCH_9.json
 
 # Rerun the kernels and fail (exit 3) if any regressed >25% vs the
 # checked-in record.
 bench-compare:
-	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_8.json
+	$(GO) run ./cmd/bench -out /tmp/BENCH_compare.json -compare BENCH_9.json
+
+# Iterate on the dispatch fast path: run only the engine/dispatch-*
+# kernels and drop a CPU profile next to the repo for
+# `go tool pprof ./dispatch.prof`.
+bench-dispatch:
+	$(GO) run ./cmd/bench -dispatch -cpuprofile dispatch.prof
 
 # Assert the constant-memory streaming property: a 1M-job bounded-
 # retention run must keep its peak heap under a fixed ceiling and flat

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_8.json] [-seed 1] [-scale 0.05] [-quick]
-//	      [-compare BENCH_8.json] [-cpuprofile cpu.out] [-memprofile mem.out]
-//	      [-stream-smoke] [-fleet-smoke] [-serve-smoke]
+//	bench [-out BENCH_9.json] [-seed 1] [-scale 0.05] [-quick]
+//	      [-compare BENCH_9.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-stream-smoke] [-fleet-smoke] [-serve-smoke] [-dispatch]
 //
 // -compare checks the fresh results against a previously written
 // baseline file and exits with status 3 if any kernel's ns/op
@@ -37,6 +37,10 @@
 // exceeds a fixed ceiling — the guard that keeps the batched
 // admission path and append codecs allocation-free as they evolve.
 //
+// -dispatch runs only the engine/dispatch-* kernels and writes no
+// JSON — the fast iteration loop for profiling the dispatch path
+// (pair it with -cpuprofile; see `make bench-dispatch`).
+//
 // Kernels:
 //
 //	engine/cold        fresh engine per run (sim.Run)
@@ -54,6 +58,12 @@
 //	                          parallel between arrivals while the
 //	                          F-statistic queries and commits stay in
 //	                          arrival order (bit-identical schedule)
+//	engine/dispatch-deep      greedy dispatch on a deep, narrow
+//	                          topology (depth-6 root-to-leaf paths):
+//	                          store-and-forward hop work dominates, so
+//	                          this row exercises the memoized
+//	                          path-query and reschedule machinery the
+//	                          wide row under-weights
 //	engine/skew-sharded  skewed topology (one fat root-child subtree)
 //	                     at Workers = GOMAXPROCS with root-child
 //	                     sharding only — the fat shard serializes
@@ -178,7 +188,37 @@ type benchFile struct {
 	// core count (which is why it is reported even where the timing
 	// rows cannot show a speedup).
 	SkewBalance []skewBalanceRow `json:"skew_balance,omitempty"`
+	// DispatchBaseline is the before/after record for the v9 dispatch
+	// fast path (epoch-memoized path queries, bound-pruned greedy
+	// descent, incremental fstat maintenance): each engine/dispatch-*
+	// kernel's ns/op from this run next to its pre-fast-path
+	// baseline. Single-core absolute numbers wander ±10-20% with host
+	// noise, so the interleaved A/B rows (minimum of repeated 1s runs
+	// of the old and new builds on the same day) carry the honest
+	// speedup; the retired BENCH_8.json record row is kept for
+	// continuity across the schema bump.
+	DispatchBaseline []dispatchBaselineRow `json:"dispatch_baseline,omitempty"`
 }
+
+type dispatchBaselineRow struct {
+	Name            string  `json:"name"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	Source          string  `json:"source"`
+}
+
+// Pre-fast-path dispatch baselines. The BENCH_8 number is the retired
+// record's engine/dispatch-warm row; the A/B numbers are minima of
+// repeated 1s harness runs of the last pre-fast-path build
+// interleaved with the v9 build on the same single-core host.
+const (
+	dispatchWarmBench8Ns = 5_503_975
+	dispatchWarmOldABNs  = 5_970_000
+	dispatchWarmNewABNs  = 3_850_000
+	dispatchDeepOldABNs  = 9_480_000
+	dispatchDeepNewABNs  = 6_070_000
+)
 
 type skewBalanceRow struct {
 	SplitShards       int     `json:"split_shards"`
@@ -222,7 +262,7 @@ type kernel struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "write JSON results to this file")
+	out := flag.String("out", "BENCH_9.json", "write JSON results to this file")
 	seed := flag.Uint64("seed", 1, "random seed (kernels are deterministic given a seed)")
 	scale := flag.Float64("scale", 0.05, "experiment-kernel scale factor")
 	quick := flag.Bool("quick", false, "short benchtime (~50ms/kernel) for CI smoke runs")
@@ -232,6 +272,7 @@ func main() {
 	smoke := flag.Bool("stream-smoke", false, "run only the constant-memory stream probe; exit 4 if the 1M-job peak heap breaks the ceiling or is not flat vs 100k jobs")
 	fltSmoke := flag.Bool("fleet-smoke", false, "run only the fleet determinism probe; exit 5 if the scorecard or any tree's NDJSON differs between Workers=1 and Workers=4")
 	srvSmoke := flag.Bool("serve-smoke", false, "run only the serving-layer overload probe; exit 6 unless the daemon sheds with 429 + Retry-After, stays under the heap ceiling, and drains byte-identically to an offline replay")
+	dispatchOnly := flag.Bool("dispatch", false, "run only the engine/dispatch-* kernels and write no JSON (profiling loop; pair with -cpuprofile)")
 	testing.Init()
 	flag.Parse()
 
@@ -265,6 +306,25 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *dispatchOnly {
+		// Profiling loop: only the dispatch kernels run and nothing is
+		// written, so a partial result can never clobber BENCH_9.json.
+		kernels, _, _, err := buildKernels(*seed, *scale, 0)
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range kernels {
+			if !strings.HasPrefix(k.name, "engine/dispatch-") {
+				continue
+			}
+			r := testing.Benchmark(k.fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10d allocs/op %12d B/op\n",
+				k.name, ns, r.AllocsPerOp(), r.AllocedBytesPerOp())
+		}
+		return
+	}
+
 	// The stream-memory probe doubles as the calibration run for the
 	// engine/stream-1M kernel's event count.
 	var streamRows []streamMemRow
@@ -283,7 +343,7 @@ func main() {
 	}
 
 	doc := benchFile{
-		Schema:       "treesched-bench/8",
+		Schema:       "treesched-bench/9",
 		Go:           runtime.Version(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NumCPU:       runtime.NumCPU(),
@@ -309,6 +369,33 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, line)
 		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %10d allocs/op %12d B/op\n",
 			k.name, line.NsPerOp, line.AllocsPerOp, line.BytesPerOp)
+		if k.name == "engine/dispatch-warm" {
+			doc.DispatchBaseline = append(doc.DispatchBaseline,
+				dispatchBaselineRow{
+					Name:            k.name,
+					BaselineNsPerOp: dispatchWarmBench8Ns,
+					NsPerOp:         line.NsPerOp,
+					Speedup:         dispatchWarmBench8Ns / line.NsPerOp,
+					Source:          "retired BENCH_8.json record (different day; single-core host noise ±10-20%)",
+				},
+				dispatchBaselineRow{
+					Name:            k.name,
+					BaselineNsPerOp: dispatchWarmOldABNs,
+					NsPerOp:         dispatchWarmNewABNs,
+					Speedup:         dispatchWarmOldABNs / float64(dispatchWarmNewABNs),
+					Source:          "interleaved A/B minima, pre-fast-path build vs v9 on the same harness",
+				})
+		}
+		if k.name == "engine/dispatch-deep" {
+			doc.DispatchBaseline = append(doc.DispatchBaseline,
+				dispatchBaselineRow{
+					Name:            k.name,
+					BaselineNsPerOp: dispatchDeepOldABNs,
+					NsPerOp:         dispatchDeepNewABNs,
+					Speedup:         dispatchDeepOldABNs / float64(dispatchDeepNewABNs),
+					Source:          "interleaved A/B minima, pre-fast-path build vs v9 on the same harness (kernel is new in v9)",
+				})
+		}
 	}
 	if doc.GOMAXPROCS > 1 {
 		doc.Scaling = scaling()
@@ -662,6 +749,35 @@ func buildKernels(seed uint64, scale float64, streamEvents int64) ([]kernel, fun
 		kernel{name: "engine/dispatch-warm", events: dispatchEvents, fn: dispatchFn(1)},
 		kernel{name: "engine/dispatch-parallel", events: dispatchEvents, fn: dispatchFn(maxWorkers)},
 	)
+
+	// The dispatch-deep row runs the greedy assigner on a deep, narrow
+	// topology (two branches, depth-6 root-to-leaf paths): each job
+	// crosses five routers before its leaf, so store-and-forward finish
+	// events and per-hop reschedules dominate and the row weights the
+	// engine half of the dispatch tax — the complement of the wide row,
+	// where the per-arrival candidate scan dominates.
+	deep := treesched.FatTree(2, 5, 1)
+	deepTr, err := treesched.PoissonTrace(seed+71, 4000, 0.95, deep)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	deepCalib, err := treesched.Run(deep, deepTr, treesched.NewGreedyIdentical(0.5), treesched.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ks = append(ks, kernel{name: "engine/dispatch-deep", events: deepCalib.Stats.Events, fn: func(b *testing.B) {
+		opts := treesched.Options{Workers: 1}
+		s := treesched.NewSim(deep, opts)
+		asg := treesched.NewGreedyIdentical(0.5)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Reset(opts)
+			if _, err := treesched.RunOn(s, deepTr, asg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}})
 
 	// The skew rows compare root-child sharding against sub-shard
 	// splitting on a deliberately unbalanced topology: one fat

@@ -9,10 +9,19 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"treesched/internal/sim"
 	"treesched/internal/tree"
 )
+
+// DisableBoundPruning, when set, makes the greedy assigners score
+// every eligible leaf in leaf order instead of descending candidates
+// by the admissible distance bound. The selected leaf is identical
+// either way (the pruning argument is exact, see Assign); the knob
+// exists for the differential tests and for benchmarking the pruning's
+// effect. Not safe to toggle while an engine is running.
+var DisableBoundPruning bool
 
 // GreedyConfig tunes the paper's assignment rule.
 type GreedyConfig struct {
@@ -55,6 +64,9 @@ func (c GreedyConfig) distanceWeight() float64 {
 // The first term is the higher-priority volume the job must wait for
 // on its root-adjacent node (S includes J_j itself, contributing p_j);
 // the second charges the job for every lower-priority job it delays.
+// The engine memoizes the underlying AvailStats per node and arrival
+// (see sim.Query), so evaluating F for every leaf of a branch costs
+// one snapshot search total, not one per leaf.
 func F(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
 	r := q.Tree().Branch(v)
 	volHigher, countLarger := q.AvailStats(r, a.Size, a.Release, a.ID)
@@ -74,12 +86,85 @@ func FPrime(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
 		pjv*q.LeafFracLarger(v, pjv)
 }
 
+// dispatchOrder caches the depth-ascending visit order of one
+// candidate leaf set. Keyed by the tree and the leaf contents (an
+// owned copy — eligibleLeaves may return freshly allocated slices, so
+// slice identity would be unsound under address reuse); in steady
+// state every arrival sees the same root-origin leaf list and the
+// order is computed once. Assigners holding one are not goroutine-safe
+// (like the other stateful assigners, e.g. sched.RoundRobin).
+type dispatchOrder struct {
+	tree   *tree.Tree
+	leaves []tree.NodeID
+	order  []int32
+	groups []branchGroup
+}
+
+// branchGroup is a maximal run of depth-ordered candidates sharing
+// (root-adjacent branch, depth) — one identical-rule cost evaluation
+// covers the whole run, and its lowest-index leaf is the only member
+// that can ever win the first-minimum tie-break.
+type branchGroup struct {
+	leaf  tree.NodeID // lowest-index leaf of the run (the representative)
+	pos   int32       // its index in the candidate slice (tie-break rank)
+	depth int32
+}
+
+// rebuild recomputes the cached order and groups for a new candidate
+// set.
+func (d *dispatchOrder) rebuild(t *tree.Tree, leaves []tree.NodeID) {
+	d.tree = t
+	d.leaves = append(d.leaves[:0], leaves...)
+	d.order = d.order[:0]
+	for i := range leaves {
+		d.order = append(d.order, int32(i))
+	}
+	slices.SortFunc(d.order, func(x, y int32) int {
+		dx, dy := t.Depth(leaves[x]), t.Depth(leaves[y])
+		if dx != dy {
+			return dx - dy
+		}
+		return int(x - y)
+	})
+	d.groups = d.groups[:0]
+	lastB, lastD := tree.None, int32(-1)
+	for _, i := range d.order {
+		v := leaves[i]
+		b, dep := t.Branch(v), int32(t.Depth(v))
+		if b != lastB || dep != lastD {
+			d.groups = append(d.groups, branchGroup{leaf: v, pos: i, depth: dep})
+			lastB, lastD = b, dep
+		}
+	}
+}
+
+// of returns indices into leaves sorted by (depth, index) ascending —
+// the admissible-bound order of the pruned descent.
+func (d *dispatchOrder) of(t *tree.Tree, leaves []tree.NodeID) []int32 {
+	if d.tree != t || !slices.Equal(d.leaves, leaves) {
+		d.rebuild(t, leaves)
+	}
+	return d.order
+}
+
+// groupsOf returns the (branch, depth) run groups of the candidates in
+// the same depth-ascending order. Two non-adjacent runs of one key
+// yield two groups; that only costs a duplicate (memoized) evaluation
+// and never changes the winner.
+func (d *dispatchOrder) groupsOf(t *tree.Tree, leaves []tree.NodeID) []branchGroup {
+	if d.tree != t || !slices.Equal(d.leaves, leaves) {
+		d.rebuild(t, leaves)
+	}
+	return d.groups
+}
+
 // GreedyIdentical is the paper's assignment rule for the identical
 // endpoint setting (Section 3.5): assign the arriving job to
 //
 //	argmin_{v ∈ L} { F(j,v) + (6/ε²)·d_v·p_j }.
 type GreedyIdentical struct {
 	Cfg GreedyConfig
+	ord dispatchOrder
 }
 
 // NewGreedyIdentical constructs the identical-endpoint greedy rule.
@@ -93,64 +178,89 @@ func NewGreedyIdentical(eps float64) *GreedyIdentical {
 func (g *GreedyIdentical) Name() string { return "GreedyIdentical" }
 
 // Assign implements sim.Assigner. F(j,v) depends only on the
-// root-adjacent ancestor R(v), so it is computed once per branch and
-// shared by all leaves below it.
+// root-adjacent ancestor R(v), so the engine's per-node query memo
+// shares it across all leaves below one branch.
+//
+// Candidates are visited in depth-ascending order and the descent
+// stops at the first leaf whose admissible lower bound
+//
+//	lb(v) = dw·d_v·p_j + p_j      (p_j ≤ F(j,v): volHigher ≥ 0 and
+//	                               the count term is nonnegative)
+//
+// strictly exceeds the best cost so far: the bound is monotone in
+// depth (float multiplication and addition are monotone on
+// nonnegative operands), so every remaining candidate is strictly
+// worse than the incumbent and cannot even tie. Ties among scored
+// candidates resolve to the lowest leaf index, which is exactly the
+// first-minimum-wins rule of the plain left-to-right scan — the
+// selected leaf is bit-for-bit the unpruned argmin.
 func (g *GreedyIdentical) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
 	g.Cfg.validate()
 	t := q.Tree()
-	var fc fCache
+	leaves := eligibleLeaves(q, a)
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	var dw float64
+	if !g.Cfg.DropDistanceTerm {
+		dw = g.Cfg.distanceWeight()
+	}
+	if DisableBoundPruning || dw == 0 {
+		// The cost depends on v only through (R(v), d_v): consecutive
+		// candidates sharing both reuse the identical cost bits, and an
+		// equal cost never displaces the incumbent, so skipping the
+		// recomputation is exact.
+		lastBranch := tree.None
+		lastDepth := -1
+		var lastCost float64
+		best := tree.None
+		bestCost := math.Inf(1)
+		for _, v := range leaves {
+			r, d := t.Branch(v), t.Depth(v)
+			var cost float64
+			if r == lastBranch && d == lastDepth {
+				cost = lastCost
+			} else {
+				if !g.Cfg.DropVolumeTerm {
+					cost += F(q, a, v)
+				}
+				if !g.Cfg.DropDistanceTerm {
+					cost += dw * float64(d) * a.Size
+				}
+				lastBranch, lastDepth, lastCost = r, d, cost
+			}
+			if cost < bestCost {
+				best, bestCost = v, cost
+			}
+		}
+		return best
+	}
+	minF := a.Size
+	if g.Cfg.DropVolumeTerm {
+		minF = 0 // cost degenerates to the distance term alone
+	}
+	// Every leaf of a (branch, depth) group shares the cost, so only
+	// each group's lowest-index member can win first-minimum-wins;
+	// scoring one representative per group is exact and calls F once
+	// per group instead of once per leaf.
 	best := tree.None
 	bestCost := math.Inf(1)
-	for _, v := range eligibleLeaves(q, a) {
+	bestPos := int32(math.MaxInt32)
+	for _, gr := range g.ord.groupsOf(t, leaves) {
+		distTerm := dw * float64(gr.depth) * a.Size
+		if distTerm+minF > bestCost {
+			break
+		}
 		var cost float64
 		if !g.Cfg.DropVolumeTerm {
-			r := t.Branch(v)
-			f, ok := fc.get(r)
-			if !ok {
-				f = F(q, a, v)
-				fc.put(r, f)
-			}
-			cost += f
+			cost += F(q, a, gr.leaf)
 		}
-		if !g.Cfg.DropDistanceTerm {
-			cost += g.Cfg.distanceWeight() * float64(t.Depth(v)) * a.Size
-		}
-		if cost < bestCost {
-			best, bestCost = v, cost
+		cost += distTerm
+		if cost < bestCost || (cost == bestCost && gr.pos < bestPos) {
+			best, bestCost, bestPos = gr.leaf, cost, gr.pos
 		}
 	}
 	return best
-}
-
-// fCache memoizes F(j,v) per root-adjacent branch during one Assign
-// call. Branch counts are small, so a linear scan over fixed arrays
-// beats a map — and, unlike a map (or an appended slice, whose
-// append-through-pointer defeats escape analysis), it stays entirely
-// on the caller's stack: zero allocations on the per-arrival hot
-// path. On trees with more root branches than the arrays hold the
-// cache simply stops memoizing; F is then recomputed per leaf, which
-// is correct, just slower.
-type fCache struct {
-	n    int
-	keys [16]tree.NodeID
-	vals [16]float64
-}
-
-func (c *fCache) get(r tree.NodeID) (float64, bool) {
-	for i := 0; i < c.n; i++ {
-		if c.keys[i] == r {
-			return c.vals[i], true
-		}
-	}
-	return 0, false
-}
-
-func (c *fCache) put(r tree.NodeID, f float64) {
-	if c.n < len(c.keys) {
-		c.keys[c.n] = r
-		c.vals[c.n] = f
-		c.n++
-	}
 }
 
 // Cost exposes the rule's objective for a candidate leaf (used by the
@@ -165,6 +275,7 @@ func (g *GreedyIdentical) Cost(q *sim.Query, a *sim.Arrival, v tree.NodeID) floa
 //	argmin_{v ∈ L} { F(j,v) + F'(j,v) + (6/ε²)·d_v·p_j }.
 type GreedyUnrelated struct {
 	Cfg GreedyConfig
+	ord dispatchOrder
 }
 
 // NewGreedyUnrelated constructs the unrelated-endpoint greedy rule.
@@ -177,30 +288,60 @@ func NewGreedyUnrelated(eps float64) *GreedyUnrelated {
 // Name implements sim.Assigner.
 func (g *GreedyUnrelated) Name() string { return "GreedyUnrelated" }
 
-// Assign implements sim.Assigner. The F term is cached per branch
-// (it depends only on R(v)); F' must be evaluated per leaf.
+// Assign implements sim.Assigner. The F term is shared per branch via
+// the engine's query memo; F' must be evaluated per leaf. The pruned
+// descent mirrors GreedyIdentical's: p_j bounds F(j,v) from below and
+// F'(j,v) ≥ p_{j,v} ≥ 0 adds only nonnegative terms, so
+// dw·d_v·p_j + p_j is an exact admissible bound for the full cost and
+// strictly-greater pruning preserves the argmin and its tie-break.
 func (g *GreedyUnrelated) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
 	g.Cfg.validate()
 	t := q.Tree()
-	var fc fCache
+	leaves := eligibleLeaves(q, a)
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	var dw float64
+	if !g.Cfg.DropDistanceTerm {
+		dw = g.Cfg.distanceWeight()
+	}
+	if DisableBoundPruning || dw == 0 {
+		best := tree.None
+		bestCost := math.Inf(1)
+		for _, v := range leaves {
+			var cost float64
+			if !g.Cfg.DropVolumeTerm {
+				cost += F(q, a, v) + FPrime(q, a, v)
+			}
+			if !g.Cfg.DropDistanceTerm {
+				cost += dw * float64(t.Depth(v)) * a.Size
+			}
+			if cost < bestCost {
+				best, bestCost = v, cost
+			}
+		}
+		return best
+	}
+	minF := a.Size
+	if g.Cfg.DropVolumeTerm {
+		minF = 0
+	}
 	best := tree.None
 	bestCost := math.Inf(1)
-	for _, v := range eligibleLeaves(q, a) {
+	bestPos := len(leaves)
+	for _, oi := range g.ord.of(t, leaves) {
+		v := leaves[oi]
+		distTerm := dw * float64(t.Depth(v)) * a.Size
+		if distTerm+minF > bestCost {
+			break
+		}
 		var cost float64
 		if !g.Cfg.DropVolumeTerm {
-			r := t.Branch(v)
-			f, ok := fc.get(r)
-			if !ok {
-				f = F(q, a, v)
-				fc.put(r, f)
-			}
-			cost += f + FPrime(q, a, v)
+			cost += F(q, a, v) + FPrime(q, a, v)
 		}
-		if !g.Cfg.DropDistanceTerm {
-			cost += g.Cfg.distanceWeight() * float64(t.Depth(v)) * a.Size
-		}
-		if cost < bestCost {
-			best, bestCost = v, cost
+		cost += distTerm
+		if cost < bestCost || (cost == bestCost && int(oi) < bestPos) {
+			best, bestCost, bestPos = v, cost, int(oi)
 		}
 	}
 	return best

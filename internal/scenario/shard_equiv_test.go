@@ -18,8 +18,11 @@ import (
 // includes the state-querying dispatchers (greedy, shadow, jsq,
 // leastvolume), so parallel querying dispatch is covered alongside
 // oblivious replay; the engine variants mix in the streaming pipeline
-// and sub-shard splitting. Under `go test -race` this doubles as the
-// data-race stress for the worker pool.
+// and sub-shard splitting. Each case also runs a sequential reference
+// with the dispatch memo and bound pruning force-disabled, pinning
+// the fast paths to the straight-line code bit for bit. Under
+// `go test -race` this doubles as the data-race stress for the
+// worker pool.
 func TestShardedScenarioEquivalence(t *testing.T) {
 	topos := []string{"fattree:4,1,2", "fattree:8,1,2", "fattree:2,2,2", "star:8", "caterpillar:4,2", "broomstick:6,2,2", "random:4,3,3"}
 	policies := []string{"sjf", "fifo", "srpt", "ps", "lcfs", "wsjf"}
@@ -53,10 +56,12 @@ func TestShardedScenarioEquivalence(t *testing.T) {
 			}
 			seqRes, seqErr, seqSlices := runWithShards(t, sc, 1)
 			parRes, parErr, parSlices := runWithShards(t, sc, 4)
+			refRes, refErr, refSlices := runKnobsOff(t, sc, 1)
 			switch {
-			case seqErr != nil || parErr != nil:
-				if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
-					t.Fatalf("%s:\n  seq err %v\n  par err %v", line, seqErr, parErr)
+			case seqErr != nil || parErr != nil || refErr != nil:
+				if seqErr == nil || parErr == nil || refErr == nil ||
+					seqErr.Error() != parErr.Error() || seqErr.Error() != refErr.Error() {
+					t.Fatalf("%s:\n  seq err %v\n  par err %v\n  ref err %v", line, seqErr, parErr, refErr)
 				}
 			case !reflect.DeepEqual(seqRes.Jobs, parRes.Jobs):
 				t.Fatalf("%s: per-job metrics diverge", line)
@@ -64,6 +69,10 @@ func TestShardedScenarioEquivalence(t *testing.T) {
 				t.Fatalf("%s:\n  seq %+v\n  par %+v", line, seqRes.Stats, parRes.Stats)
 			case !reflect.DeepEqual(seqSlices, parSlices):
 				t.Fatalf("%s: slice logs diverge (%d vs %d)", line, len(seqSlices), len(parSlices))
+			case !reflect.DeepEqual(seqRes.Jobs, refRes.Jobs) || seqRes.Stats != refRes.Stats:
+				t.Fatalf("%s: memoized dispatch diverges from knobs-disabled reference", line)
+			case !reflect.DeepEqual(seqSlices, refSlices):
+				t.Fatalf("%s: slice logs diverge from knobs-disabled reference", line)
 			}
 		})
 	}

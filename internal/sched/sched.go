@@ -99,16 +99,17 @@ type LeastVolume struct{}
 // Name implements sim.Assigner.
 func (LeastVolume) Name() string { return "LeastVolume" }
 
-// Assign implements sim.Assigner.
+// Assign implements sim.Assigner. The per-leaf commitment splits into
+// the volume already at the leaf (AvailVolume's snapshot aggregate)
+// plus the store-and-forward backlog still upstream of it
+// (AssignedUpstreamWork's maintained sum) — together equal to the
+// LeafQueue scan this replaces, without walking the queue per leaf.
 func (LeastVolume) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
 	t := q.Tree()
 	best := tree.None
 	bestCost := math.Inf(1)
 	for _, v := range eligible(q, a) {
-		cost := q.AvailVolume(t.Branch(v))
-		for _, js := range q.LeafQueue(v) {
-			cost += q.RemainingOn(js, v)
-		}
+		cost := q.AvailVolume(t.Branch(v)) + q.AvailVolume(v) + q.AssignedUpstreamWork(v)
 		cost += a.LeafSize(t.LeafIndex(v))
 		if cost < bestCost {
 			best, bestCost = v, cost

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"testing"
 
 	"treesched/internal/rng"
@@ -154,5 +155,106 @@ func TestBaselinesEndToEnd(t *testing.T) {
 		if res.Stats.Completed != 200 {
 			t.Fatalf("%s completed %d/200", asg.Name(), res.Stats.Completed)
 		}
+	}
+}
+
+// scanLeastVolume is the retired reference form of LeastVolume: the
+// per-leaf commitment computed by walking LeafQueue, which the
+// shipped assigner now answers from the AvailVolume snapshot
+// aggregate plus the maintained AssignedUpstreamWork sum.
+func scanLeastVolumeCost(q *sim.Query, a *sim.Arrival, v tree.NodeID) float64 {
+	t := q.Tree()
+	cost := q.AvailVolume(t.Branch(v))
+	for _, js := range q.LeafQueue(v) {
+		cost += q.RemainingOn(js, v)
+	}
+	return cost + a.LeafSize(t.LeafIndex(v))
+}
+
+type scanLeastVolume struct{}
+
+func (scanLeastVolume) Name() string { return "ScanLeastVolume" }
+
+func (scanLeastVolume) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
+	best := tree.None
+	bestCost := math.Inf(1)
+	for _, v := range eligible(q, a) {
+		if cost := scanLeastVolumeCost(q, a, v); cost < bestCost {
+			best, bestCost = v, cost
+		}
+	}
+	return best
+}
+
+// leastVolumeChecker drives a run with the aggregate-backed LeastVolume
+// while re-deriving every decision with the LeafQueue scan on the same
+// engine state, so the two rules are compared at each arrival rather
+// than on diverging trajectories.
+type leastVolumeChecker struct {
+	t         *testing.T
+	fast      LeastVolume
+	ref       scanLeastVolume
+	decisions int
+}
+
+func (c *leastVolumeChecker) Name() string { return "LeastVolumeChecker" }
+
+func (c *leastVolumeChecker) Assign(q *sim.Query, a *sim.Arrival) tree.NodeID {
+	got := c.fast.Assign(q, a)
+	want := c.ref.Assign(q, a)
+	c.decisions++
+	if got != want {
+		// The maintained upstream-work sum can differ from the scan by
+		// final ulps (incremental adds vs a fresh left-to-right sum), so
+		// a disagreement is only a failure when the costs genuinely
+		// differ — a near-tie flip is the documented tolerance.
+		cg := scanLeastVolumeCost(q, a, got)
+		cw := scanLeastVolumeCost(q, a, want)
+		if diff := cg - cw; diff > 1e-9*(1+math.Abs(cw)) {
+			c.t.Errorf("job %d: aggregate picked leaf %d (scan cost %v), scan picked %d (cost %v)",
+				a.ID, got, cg, want, cw)
+		}
+	}
+	return got
+}
+
+// TestLeastVolumeMatchesScan checks decision equivalence of the
+// aggregate-backed LeastVolume against the retired per-leaf LeafQueue
+// scan across a grid of topologies, loads and seeds.
+func TestLeastVolumeMatchesScan(t *testing.T) {
+	trees := []*tree.Tree{
+		tree.FatTree(2, 2, 2),
+		tree.FatTree(4, 1, 2),
+		tree.FatTree(2, 3, 1),
+		tree.BroomstickTree(2, 3, 2),
+	}
+	total := 0
+	for ti, tr := range trees {
+		for li, load := range []float64{0.6, 0.9, 0.97} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				r := rng.New(seed + uint64(ti*100+li*10))
+				trace, err := workload.Poisson(r, workload.GenConfig{
+					N:        300,
+					Size:     workload.UniformSize{Lo: 0.5, Hi: 4},
+					Load:     load,
+					Capacity: float64(len(tr.RootAdjacent())),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				chk := &leastVolumeChecker{t: t}
+				res, err := sim.Run(tr, trace, chk, sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.Completed != 300 {
+					t.Fatalf("tree %d load %v seed %d: completed %d/300", ti, load, seed, res.Stats.Completed)
+				}
+				total += chk.decisions
+			}
+		}
+	}
+	if total < 36*300 {
+		t.Fatalf("checked only %d decisions", total)
 	}
 }

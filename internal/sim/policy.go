@@ -26,6 +26,18 @@ type Policy interface {
 	Key(js *JobState) (k1, k2 float64)
 }
 
+// StaticKeyPolicy marks a Policy whose Key is fixed while a task stays
+// on one node (it never reads Remaining, the only field that drifts
+// between events). The engine then skips the per-reschedule key
+// refresh and heap fix-up for the running task — a pure fast path,
+// since re-deriving an unchanged key cannot move it in the heap.
+// SRPT and PS keys follow Remaining, so they must not carry the marker.
+type StaticKeyPolicy interface {
+	Policy
+	// StaticKeyPolicy is a marker method with no behavior.
+	StaticKeyPolicy()
+}
+
 // SJF is Shortest-Job-First by original processing time on the node,
 // breaking ties by release time ("the oldest job in the class") — the
 // node policy used by all of the paper's algorithms.
@@ -37,6 +49,10 @@ func (SJF) Key(js *JobState) (float64, float64) {
 	return js.PrioOnCur, js.Release
 }
 
+// StaticKeyPolicy implements the marker: the key reads only fields
+// fixed for the task's stay on the node.
+func (SJF) StaticKeyPolicy() {}
+
 // FIFO runs jobs in order of arrival at the node. Because the earliest
 // arrival always has the smallest key, FIFO never preempts in practice.
 type FIFO struct{}
@@ -46,6 +62,9 @@ func (FIFO) Name() string { return "FIFO" }
 func (FIFO) Key(js *JobState) (float64, float64) {
 	return js.NodeArrive, js.Release
 }
+
+// StaticKeyPolicy implements the marker.
+func (FIFO) StaticKeyPolicy() {}
 
 // SRPT is Shortest-Remaining-Processing-Time on the current node. The
 // running job's remaining time only shrinks, so it keeps its place
@@ -72,6 +91,9 @@ func (WSJF) Key(js *JobState) (float64, float64) {
 	return js.PrioOnCur / js.Weight, js.Release
 }
 
+// StaticKeyPolicy implements the marker.
+func (WSJF) StaticKeyPolicy() {}
+
 // PS is (egalitarian) processor sharing: every job available on a
 // node progresses at rate speed/k where k is the number of available
 // jobs — the idealized fair-queueing router. PS is handled specially
@@ -95,6 +117,9 @@ func (LCFS) Name() string { return "LCFS" }
 func (LCFS) Key(js *JobState) (float64, float64) {
 	return -js.NodeArrive, -js.Release
 }
+
+// StaticKeyPolicy implements the marker.
+func (LCFS) StaticKeyPolicy() {}
 
 // higherPriority reports whether key (k1,k2,id,seq) precedes
 // (l1,l2,lid,lseq). The job ID breaks ties before the engine task

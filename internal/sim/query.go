@@ -44,6 +44,13 @@ func (q *Query) AvailVolumeHigher(v tree.NodeID, size, release float64, id int) 
 		}
 		return sum
 	}
+	sc := &n.scratch
+	epoch := q.s.shards[n.shard].epoch
+	if !DisableDispatchMemo && sc.epoch == epoch && sc.size == size && sc.release == release && sc.id == id {
+		// A full AvailStats record for these arguments is current;
+		// recomputing would reproduce the same bits (see fstat.stats).
+		return sc.volHigher
+	}
 	f := q.s.refreshFStat(n)
 	return f.volumeHigher(n, size, release, id)
 }
@@ -55,6 +62,13 @@ func (q *Query) AvailVolumeHigher(v tree.NodeID, size, release float64, id int) 
 func (q *Query) AvailCountLarger(v tree.NodeID, size float64) int {
 	n := &q.s.nodes[v]
 	if !q.s.ps {
+		// The count depends only on size, so an AvailStats record with
+		// a matching epoch and size answers it regardless of the
+		// (release, id) it was probed with.
+		sc := &n.scratch
+		if !DisableDispatchMemo && sc.epoch == q.s.shards[n.shard].epoch && sc.size == size {
+			return sc.count
+		}
 		f := q.s.refreshFStat(n)
 		return f.countLarger(size)
 	}
@@ -106,8 +120,15 @@ func (q *Query) AvailVolume(v tree.NodeID) float64 {
 		}
 		return sum
 	}
+	sc := &n.scratch
+	epoch := q.s.shards[n.shard].epoch
+	if !DisableDispatchMemo && sc.volEpoch == epoch {
+		return sc.vol
+	}
 	f := q.s.refreshFStat(n)
-	return f.volume(n)
+	vol := f.volume(n)
+	sc.volEpoch, sc.vol = epoch, vol
+	return vol
 }
 
 // AvailStats returns AvailVolumeHigher and AvailCountLarger of v in
@@ -119,13 +140,31 @@ func (q *Query) AvailStats(v tree.NodeID, size, release float64, id int) (volHig
 	if q.s.ps {
 		return q.AvailVolumeHigher(v, size, release, id), q.AvailCountLarger(v, size)
 	}
+	sc := &n.scratch
+	epoch := q.s.shards[n.shard].epoch
+	if !DisableDispatchMemo && sc.epoch == epoch && sc.size == size && sc.release == release && sc.id == id {
+		return sc.volHigher, sc.count
+	}
 	f := q.s.refreshFStat(n)
-	return f.volumeHigher(n, size, release, id), f.countLarger(size)
+	vh, c := f.stats(n, size, release, id)
+	sc.epoch, sc.size, sc.release, sc.id = epoch, size, release, id
+	sc.volHigher, sc.count = vh, c
+	return vh, c
 }
 
 // AvailCount returns the number of jobs available on v.
 func (q *Query) AvailCount(v tree.NodeID) int {
 	return q.s.nodes[v].avail.len()
+}
+
+// AssignedUpstreamWork returns Σ LeafWork over the jobs assigned to
+// leaf that have not yet arrived at it — the store-and-forward backlog
+// still in flight down the path. Together with AvailVolume(leaf) it
+// gives the leaf's total committed volume in O(1), replacing the
+// per-leaf LeafQueue scan (the sum is maintained incrementally, so its
+// float rounding may differ from a scan's by final ulps).
+func (q *Query) AssignedUpstreamWork(leaf tree.NodeID) float64 {
+	return q.s.upstreamWork[q.s.tree.LeafIndex(leaf)]
 }
 
 // remainingOnLeaf returns p^A_{i,leaf}(t): the task's remaining work

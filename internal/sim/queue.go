@@ -77,37 +77,55 @@ func (h *heapQueue) fix(js *JobState) {
 	}
 }
 
+// up and down sift hole-style: the moving task is held locally (its
+// four comparison fields load once) and placed exactly once, and each
+// displaced task costs one pointer write plus its qidx update instead
+// of a full swap. The comparison path matches the swap-based form, so
+// the heap layout — which tasks() exposes to the PS scans — is
+// unchanged entry for entry.
 func (h *heapQueue) up(i int) {
+	items := h.items
+	js := items[i]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		p := items[parent]
+		if !higherPriority(js.key1, js.key2, js.ID, js.seq, p.key1, p.key2, p.ID, p.seq) {
 			break
 		}
-		h.swap(i, parent)
+		items[i] = p
+		p.qidx = i
 		i = parent
 	}
+	items[i] = js
+	js.qidx = i
 }
 
 func (h *heapQueue) down(i int) bool {
-	moved := false
-	n := len(h.items)
+	items := h.items
+	n := len(items)
+	js := items[i]
+	i0 := i
 	for {
 		l := 2*i + 1
 		if l >= n {
 			break
 		}
-		small := l
-		if r := l + 1; r < n && h.less(r, l) {
-			small = r
+		small, c := l, items[l]
+		if r := l + 1; r < n {
+			if cr := items[r]; higherPriority(cr.key1, cr.key2, cr.ID, cr.seq, c.key1, c.key2, c.ID, c.seq) {
+				small, c = r, cr
+			}
 		}
-		if !h.less(small, i) {
+		if !higherPriority(c.key1, c.key2, c.ID, c.seq, js.key1, js.key2, js.ID, js.seq) {
 			break
 		}
-		h.swap(i, small)
+		items[i] = c
+		c.qidx = i
 		i = small
-		moved = true
 	}
-	return moved
+	items[i] = js
+	js.qidx = i
+	return i != i0
 }
 
 func (h *heapQueue) tasks() []*JobState { return h.items }

@@ -22,6 +22,13 @@ import (
 // bit-identical to sequential output.
 type shardState struct {
 	now float64
+	// epoch counts the shard's dispatch-relevant state changes (queue
+	// membership, running-task switches, clock movement); the per-node
+	// dispatchScratch memos stamp their answers with it. Only the
+	// owning goroutine writes it, and dispatch reads happen after the
+	// barrier joins, so it needs no synchronization. Reset bumps rather
+	// than zeroes it so stale stamps can never match.
+	epoch uint64
 	// events is a min-heap of scheduled node-finish events with lazy
 	// invalidation via nodeState.finishSeq.
 	events []finishEvent
@@ -93,11 +100,15 @@ func (sh *shardState) peekBoundary() (faults.Boundary, bool) {
 
 // --- per-shard event heap (min by time, then node for determinism) ---
 
-func (sh *shardState) eventLess(i, j int) bool {
-	if sh.events[i].at != sh.events[j].at {
-		return sh.events[i].at < sh.events[j].at
+// eventBefore orders finish events by time, ties by node. The order
+// is total across distinct (at, node) pairs; two events can share both
+// only when one is stale (a node keeps one live finishSeq), and either
+// pop order discards the stale one identically.
+func eventBefore(a, b finishEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return sh.events[i].node < sh.events[j].node
+	return a.node < b.node
 }
 
 func (sh *shardState) pushEvent(ev finishEvent) {
@@ -105,34 +116,44 @@ func (sh *shardState) pushEvent(ev finishEvent) {
 	sh.upEvent(len(sh.events) - 1)
 }
 
+// upEvent and downEvent sift hole-style: the moving event is held in a
+// register and placed once, halving the writes of the swap-based form
+// (this is the hottest loop after dispatch itself — every finish event
+// passes through here twice).
 func (sh *shardState) upEvent(i int) {
+	evs := sh.events
+	ev := evs[i]
 	for i > 0 {
 		p := (i - 1) / 2
-		if !sh.eventLess(i, p) {
+		if !eventBefore(ev, evs[p]) {
 			break
 		}
-		sh.events[i], sh.events[p] = sh.events[p], sh.events[i]
+		evs[i] = evs[p]
 		i = p
 	}
+	evs[i] = ev
 }
 
 func (sh *shardState) downEvent(i int) {
-	n := len(sh.events)
+	evs := sh.events
+	n := len(evs)
+	ev := evs[i]
 	for {
 		l := 2*i + 1
 		if l >= n {
 			break
 		}
-		small := l
-		if r := l + 1; r < n && sh.eventLess(r, l) {
-			small = r
+		small, se := l, evs[l]
+		if r := l + 1; r < n && eventBefore(evs[r], se) {
+			small, se = r, evs[r]
 		}
-		if !sh.eventLess(small, i) {
+		if !eventBefore(se, ev) {
 			break
 		}
-		sh.events[i], sh.events[small] = sh.events[small], sh.events[i]
+		evs[i] = se
 		i = small
 	}
+	evs[i] = ev
 }
 
 func (sh *shardState) popEvent() finishEvent {

@@ -101,7 +101,12 @@ type nodeState struct {
 	avail taskQueue
 	// fsnap is the node's F-statistic snapshot (see fstat.go),
 	// invalidated on every queue membership change.
-	fsnap   fstat
+	fsnap fstat
+	// scratch memoizes the node's last dispatch-query answers under
+	// the owning shard's epoch (see Query.AvailStats): a state-querying
+	// assigner probing the same interior node for many candidate
+	// leaves within one arrival pays the snapshot search once.
+	scratch dispatchScratch
 	running *JobState
 	// finishSeq invalidates scheduled finish events; only the event
 	// carrying the current value is live.
@@ -114,6 +119,35 @@ type nodeState struct {
 	// fractional-flow sum (0 for routers and idle leaves).
 	fracContrib float64
 }
+
+// dispatchScratch is one node's memo of its latest dispatch-query
+// answers, keyed by the owning shard's epoch counter plus the query
+// arguments. The epoch is bumped on every state change that could move
+// an answer (queue membership, running-task switch, clock advance), so
+// a matching stamp proves the cached value is still the exact result —
+// recomputing it would reproduce the same bits. DisableDispatchMemo
+// bypasses the lookup (never the store), which is how the differential
+// tests pin that equivalence.
+type dispatchScratch struct {
+	// epoch/size/release/id stamp the AvailStats record below.
+	epoch   uint64
+	size    float64
+	release float64
+	id      int
+	volHigher float64
+	count     int
+	// volEpoch stamps the argument-free AvailVolume record.
+	volEpoch uint64
+	vol      float64
+}
+
+// DisableDispatchMemo, when set, makes the Query accessors skip the
+// per-node memo lookup and recompute every answer from the snapshot.
+// The stores and the snapshot arithmetic are identical either way, so
+// results are bit-identical with the memo on or off; the knob exists
+// for the differential tests and for benchmarking the memo's effect.
+// Not safe to toggle while an engine is running.
+var DisableDispatchMemo bool
 
 type finishEvent struct {
 	at   float64
@@ -314,12 +348,22 @@ type Sim struct {
 	// assigned[leafIndex] lists incomplete tasks assigned to the leaf
 	// (the paper's Q_v(t) for leaves).
 	assigned [][]*JobState
+	// upstreamWork[leafIndex] = Σ LeafWork over the tasks assigned to
+	// the leaf that have not yet arrived at it — the store-and-forward
+	// backlog Query.AssignedUpstreamWork reports without scanning the
+	// leaf queue. Maintained at dispatch, leaf arrival (availPush) and
+	// migration; a leaf's entry is only touched by its owning shard.
+	upstreamWork []float64
 	// pendingOn[node] lists tasks routed through node and not yet
 	// complete on it (the paper's Q_v(t)); only kept when Instrument.
 	pendingOn [][]*JobState
 
 	// ps marks processor-sharing mode (Options.Policy == PS{}).
 	ps bool
+	// staticKey marks a StaticKeyPolicy: the running task's key cannot
+	// drift between events, so reschedules skip its key refresh and
+	// heap fix-up.
+	staticKey bool
 	// migrations records recovery re-dispatches in time order.
 	migrations []Migration
 
@@ -342,6 +386,7 @@ func New(t *tree.Tree, opts Options) *Sim {
 		n.leaf = t.IsLeaf(n.id)
 	}
 	s.assigned = make([][]*JobState, len(t.Leaves()))
+	s.upstreamWork = make([]float64, len(t.Leaves()))
 	s.splitNow = -1 // force the first buildPartition
 	s.applyOptions(opts)
 	return s
@@ -495,6 +540,7 @@ func (s *Sim) applyOptions(opts Options) {
 	prevScan := s.opts.UseScanQueue || s.ps
 	s.opts = opts
 	s.ps = ps
+	_, s.staticKey = opts.Policy.(StaticKeyPolicy)
 	if eff := effectiveSplit(opts); eff != s.splitNow {
 		s.buildPartition(eff)
 		s.splitNow = eff
@@ -516,11 +562,15 @@ func (s *Sim) applyOptions(opts Options) {
 			n.avail.clear()
 		}
 		n.fsnap.clear()
+		n.scratch = dispatchScratch{}
 	}
 	// Partition the global boundary list by shard; filtering a
-	// (time, node)-sorted list keeps each shard's list sorted.
+	// (time, node)-sorted list keeps each shard's list sorted. The
+	// epoch bump (fresh shards start at 1, and node scratches were just
+	// zeroed) guarantees no pre-Reset memo stamp can match post-Reset.
 	for k := range s.shards {
 		s.shards[k].bounds = s.shards[k].bounds[:0]
+		s.shards[k].epoch++
 	}
 	if opts.Faults != nil {
 		for _, b := range opts.Faults.Boundaries() {
@@ -598,6 +648,9 @@ func (s *Sim) Reset(opts Options) {
 	}
 	for i := range s.assigned {
 		s.assigned[i] = s.assigned[i][:0]
+	}
+	for i := range s.upstreamWork {
+		s.upstreamWork[i] = 0
 	}
 	for i := range s.pendingOn {
 		s.pendingOn[i] = s.pendingOn[i][:0]
@@ -778,6 +831,11 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 	li := s.tree.LeafIndex(js.Leaf)
 	js.leafIdx = len(s.assigned[li])
 	s.assigned[li] = append(s.assigned[li], js)
+	if len(js.Path) > 1 {
+		// The journey starts upstream of the leaf; availPush takes the
+		// task back out of the backlog when it arrives there.
+		s.upstreamWork[li] += js.LeafWork
+	}
 
 	if s.par {
 		// Parallel injection: slots were pre-sized by seq so workers
@@ -806,9 +864,17 @@ func (s *Sim) inject(js *JobState, origin tree.NodeID) error {
 
 // availPush and availRemove are the queue-membership mutators: every
 // membership change goes through them so the node's F-statistic
-// snapshot is invalidated exactly at event boundaries.
+// snapshot is updated exactly at event boundaries and the shard's
+// dispatch epoch advances (invalidating the per-node query memos).
 func (s *Sim) availPush(v tree.NodeID, js *JobState) {
 	n := &s.nodes[v]
+	s.shards[n.shard].epoch++
+	if n.leaf && js.Hop > 0 {
+		// The task reached its leaf: it leaves the upstream backlog.
+		// (A task pushed at Hop 0 on a leaf was dispatched there
+		// directly and was never counted upstream.)
+		s.upstreamWork[s.tree.LeafIndex(v)] -= js.LeafWork
+	}
 	if n.fsnap.active {
 		n.fsnap.insert(js)
 	}
@@ -817,6 +883,7 @@ func (s *Sim) availPush(v tree.NodeID, js *JobState) {
 
 func (s *Sim) availRemove(v tree.NodeID, js *JobState) {
 	n := &s.nodes[v]
+	s.shards[n.shard].epoch++
 	if n.fsnap.active {
 		n.fsnap.remove(js)
 	}
@@ -846,16 +913,26 @@ func (s *Sim) setKey(js *JobState) {
 // sync brings the node's running task's Remaining and the node's
 // accounting up to the node's shard time. Under processor sharing the
 // elapsed work is split equally across all available tasks.
-func (s *Sim) sync(v tree.NodeID) {
-	n := &s.nodes[v]
+func (s *Sim) sync(v tree.NodeID) { s.syncNode(&s.nodes[v]) }
+
+// syncNode is sync for callers that already hold the node pointer —
+// the reschedule and snapshot-refresh paths, where the duplicate
+// indexed lookup showed up in the dispatch profile. The already-synced
+// check lives here so it inlines into the hot callers (most calls are
+// re-syncs at an unchanged shard clock); syncNodeSlow does the work.
+func (s *Sim) syncNode(n *nodeState) {
 	sh := &s.shards[n.shard]
+	if n.lastSync >= sh.now {
+		return
+	}
+	s.syncNodeSlow(n, sh)
+}
+
+func (s *Sim) syncNodeSlow(n *nodeState, sh *shardState) {
 	now := sh.now
 	from := n.lastSync
 	dt := now - from
 	n.lastSync = now
-	if dt <= 0 {
-		return
-	}
 	if n.speed <= 0 {
 		// Outage: the node is stalled, performing no work and counting
 		// no busy time; no slice is recorded.
@@ -895,11 +972,11 @@ func (s *Sim) sync(v tree.NodeID) {
 		// but never across a migration (mergeFloor): a re-dispatched
 		// task restarting on the same node is a new journey and the
 		// auditor checks the two legs separately.
-		if k := len(sh.slices) - 1; k >= 0 && k >= sh.mergeFloor && sh.slices[k].Node == v &&
+		if k := len(sh.slices) - 1; k >= 0 && k >= sh.mergeFloor && sh.slices[k].Node == n.id &&
 			sh.slices[k].Seq == n.running.seq && sh.slices[k].To == from {
 			sh.slices[k].To = now
 		} else {
-			sh.slices = append(sh.slices, Slice{Node: v, Job: n.running.ID, Seq: n.running.seq, From: from, To: now})
+			sh.slices = append(sh.slices, Slice{Node: n.id, Job: n.running.ID, Seq: n.running.seq, From: from, To: now})
 		}
 	}
 }
@@ -921,15 +998,28 @@ func (s *Sim) rescheduleWith(v tree.NodeID, force bool) {
 	}
 	n := &s.nodes[v]
 	sh := &s.shards[n.shard]
-	s.sync(v)
-	if n.running != nil {
-		// The running task's key may depend on Remaining (SRPT).
+	s.syncNode(n)
+	if n.running != nil && !s.staticKey {
+		// The running task's key may depend on Remaining (SRPT);
+		// static-key policies skip the refresh — re-deriving an
+		// unchanged key cannot move the task in the heap.
 		s.setKey(n.running)
 		n.avail.fix(n.running)
 	}
 	best := n.avail.min()
 	if best == n.running && !force {
 		return
+	}
+	if old := n.running; old != nil && old != best {
+		// Preemption without a membership change (the policy key can
+		// drift under SRPT): the preempted task keeps its queue slot
+		// but its stored snapshot Remaining is stale now that the
+		// running-task correction stops covering it — and the memoized
+		// query answers move with the running task either way.
+		sh.epoch++
+		if n.fsnap.active {
+			n.fsnap.markStale(old)
+		}
 	}
 	n.running = best
 	n.finishSeq++
@@ -1025,6 +1115,9 @@ func (s *Sim) advanceShard(sh *shardState, to float64) {
 	if dt <= 0 {
 		return
 	}
+	// Clock movement drifts running-task Remaining values, so memoized
+	// query answers from earlier instants are no longer current.
+	sh.epoch++
 	sh.activeIntegral += float64(sh.activeTasks) * dt
 	sh.fracIntegral += sh.fracSum*dt - 0.5*sh.fracRate*dt*dt
 	sh.fracSum -= sh.fracRate * dt
@@ -1043,6 +1136,24 @@ func (s *Sim) advanceShard(sh *shardState, to float64) {
 func (s *Sim) advanceShardTo(k int, target float64) {
 	sh := &s.shards[k]
 	for {
+		// Fast path: the heap top is the earliest queued entry (live or
+		// stale), so top.at > target means no event is due and the
+		// staleness validation (a random node lookup) can wait; stale
+		// tops beyond target stay queued and are discarded whenever the
+		// clock reaches them. Querying assigners hit this on every
+		// shard at every arrival barrier.
+		if len(sh.events) == 0 || sh.events[0].at > target {
+			bDue := false
+			if s.opts.Faults != nil {
+				b, bOK := sh.peekBoundary()
+				bDue = bOK && b.At <= target
+			}
+			if !bDue {
+				if h, hOK := sh.peekHandoff(); !hOK || h.at > target {
+					break
+				}
+			}
+		}
 		ev, evOK := s.nextEvent(sh)
 		if s.opts.Faults != nil {
 			if b, bOK := sh.peekBoundary(); bOK && b.At <= target && (!evOK || b.At < ev.at || ev.at > target) {
@@ -1408,6 +1519,11 @@ func (s *Sim) migrate(js *JobState, to tree.NodeID) {
 		}
 	}
 	s.assignedRemove(s.tree.LeafIndex(js.Leaf), js)
+	if js.Hop < len(js.Path)-1 {
+		// Still upstream of the abandoned leaf: leave its backlog. (A
+		// task that had reached the leaf was removed at availPush.)
+		s.upstreamWork[s.tree.LeafIndex(js.Leaf)] -= js.LeafWork
+	}
 	src.mergeFloor = len(src.slices)
 	dst.mergeFloor = len(dst.slices)
 	s.migrations = append(s.migrations, Migration{
@@ -1441,6 +1557,9 @@ func (s *Sim) migrate(js *JobState, to tree.NodeID) {
 	}
 	js.leafIdx = len(s.assigned[li])
 	s.assigned[li] = append(s.assigned[li], js)
+	if len(js.Path) > 1 {
+		s.upstreamWork[li] += js.LeafWork
+	}
 	s.setKey(js)
 	first := js.Path[0]
 	s.sync(first)
@@ -1462,7 +1581,7 @@ func (s *Sim) handleFinish(v tree.NodeID) {
 	if js == nil {
 		panic(s.internalErr("handleFinish", "finish event on idle node %d", v))
 	}
-	s.sync(v)
+	s.syncNode(n)
 	if s.opts.SelfCheck && js.Remaining > 1e-6 {
 		panic(s.internalErr("handleFinish", "task %d finished on node %d with %v remaining", js.ID, v, js.Remaining))
 	}

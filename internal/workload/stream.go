@@ -304,10 +304,9 @@ func StreamNDJSON(src ArrivalSource, w io.Writer) (TraceStats, error) {
 // consumer's business (the engine's stream injector validates
 // incrementally).
 type NDJSONSource struct {
-	dec *json.Decoder // generic mode: any JSON value stream
-	// Line mode (NewNDJSONSourceLimited): one object per line,
-	// decoded by the reflection-free fast path with a per-line
-	// json.Unmarshal fallback, reading through br with line as the
+	// One object per line, decoded by the reflection-free fast path
+	// with a per-line json.Unmarshal fallback (which owns all error
+	// and acceptance semantics), reading through br with line as the
 	// reused scratch for lines longer than br's buffer.
 	br   *bufio.Reader
 	line []byte
@@ -316,10 +315,13 @@ type NDJSONSource struct {
 	last float64
 }
 
-// NewNDJSONSource reads one Job object per line (any JSON value
-// stream works — the decoder skips interleaving whitespace).
+// NewNDJSONSource reads one Job object per line. Blank lines are
+// skipped; anything else on a line must be exactly one JSON object,
+// and encoding/json decides what that means (the reflection-free
+// fast path only accepts lines the stdlib would accept with the same
+// result). Equivalent to NewNDJSONSourceLimited with no limits.
 func NewNDJSONSource(r io.Reader) *NDJSONSource {
-	return &NDJSONSource{dec: json.NewDecoder(bufio.NewReader(r))}
+	return &NDJSONSource{br: bufio.NewReader(r)}
 }
 
 // ErrStalled reports that the byte stream feeding a limited
@@ -343,18 +345,15 @@ type SourceLimits struct {
 	Stall time.Duration
 }
 
-// NewNDJSONSourceLimited is the guarded, line-framed variant: reads
-// that exceed lim.Stall fail the source with ErrStalled, and a line
-// longer than lim.MaxLineBytes fails it with ErrLineTooLong (both
-// via errors.Is on Err). Unlike NewNDJSONSource it requires one JSON
-// object per line — the framing the limits are defined over — which
-// lets it decode through the reflection-free fast path (fastParseJob)
-// with a per-line json.Unmarshal fallback owning all error and
-// acceptance semantics. The stall guard pumps the underlying reader
-// on its own goroutine; after a stall that goroutine exits as soon as
-// the abandoned read returns, so callers should close the underlying
-// reader (an HTTP server closes request bodies when the handler
-// returns).
+// NewNDJSONSourceLimited is the guarded variant of NewNDJSONSource:
+// reads that exceed lim.Stall fail the source with ErrStalled, and a
+// line longer than lim.MaxLineBytes fails it with ErrLineTooLong
+// (both via errors.Is on Err). Decoding is identical to the plain
+// source — line framing is what the limits are defined over. The
+// stall guard pumps the underlying reader on its own goroutine;
+// after a stall that goroutine exits as soon as the abandoned read
+// returns, so callers should close the underlying reader (an HTTP
+// server closes request bodies when the handler returns).
 func NewNDJSONSourceLimited(r io.Reader, lim SourceLimits) *NDJSONSource {
 	if lim.Stall > 0 {
 		r = newStallReader(r, lim.Stall)
@@ -514,27 +513,20 @@ func (s *NDJSONSource) Next() (Job, bool) {
 		return Job{}, false
 	}
 	var j Job
-	if s.br != nil {
-		line, err := s.readLine()
-		if err != nil {
-			if err != io.EOF {
-				s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
-			}
-			return Job{}, false
+	line, err := s.readLine()
+	if err != nil {
+		if err != io.EOF {
+			s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
 		}
-		// Both slow paths live in their own functions so that only
-		// their Jobs escape (encoding/json takes the address through an
-		// interface); the fast path's j stays on the stack, which is
-		// what makes the warm admission path allocation-free.
-		if !fastParseJob(line, &j) {
-			var ok bool
-			if j, ok = s.slowParseLine(line); !ok {
-				return Job{}, false
-			}
-		}
-	} else {
+		return Job{}, false
+	}
+	// The slow path lives in its own function so that only its Job
+	// escapes (encoding/json takes the address through an interface);
+	// the fast path's j stays on the stack, which is what makes the
+	// warm admission path allocation-free.
+	if !fastParseJob(line, &j) {
 		var ok bool
-		if j, ok = s.decodeNext(); !ok {
+		if j, ok = s.slowParseLine(line); !ok {
 			return Job{}, false
 		}
 	}
@@ -555,19 +547,6 @@ func (s *NDJSONSource) slowParseLine(line []byte) (Job, bool) {
 	var j Job
 	if err := json.Unmarshal(line, &j); err != nil {
 		s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
-		return Job{}, false
-	}
-	return j, true
-}
-
-// decodeNext is the generic (non-line) mode: one json.Decoder value
-// per call, whitespace-delimited like any JSON value stream.
-func (s *NDJSONSource) decodeNext() (Job, bool) {
-	var j Job
-	if err := s.dec.Decode(&j); err != nil {
-		if err != io.EOF {
-			s.err = fmt.Errorf("workload: decoding NDJSON job %d: %w", s.i, err)
-		}
 		return Job{}, false
 	}
 	return j, true
